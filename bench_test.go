@@ -1,0 +1,435 @@
+package yat
+
+// One benchmark per experiment of EXPERIMENTS.md (the paper has no
+// quantitative tables; every figure and performance claim maps to a
+// benchmark here — see DESIGN.md §4), plus ablations for the design
+// choices called out in DESIGN.md §6.
+
+import (
+	"fmt"
+	"testing"
+
+	"yat/internal/compose"
+	"yat/internal/engine"
+	"yat/internal/pattern"
+	"yat/internal/tree"
+	"yat/internal/workload"
+	"yat/internal/yatl"
+)
+
+func mustProg(b *testing.B, src string) *Program {
+	b.Helper()
+	p, err := ParseProgram(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func mustRunB(b *testing.B, p *Program, s *Store) *Result {
+	b.Helper()
+	r, err := Run(p, s, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// --- E1: Figure 1 scenario ------------------------------------------------
+
+func BenchmarkFig1Scenario(b *testing.B) {
+	first := mustProg(b, Rules1And2)
+	web := mustProg(b, WebRules)
+	inputs := workload.BrochureStore(20, 3, 10, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mid := mustRunB(b, first, inputs)
+		interm := NewStore()
+		for _, e := range mid.Outputs.Entries() {
+			interm.Put(e.Name, e.Tree)
+		}
+		res := mustRunB(b, web, interm)
+		if _, err := ExportHTML(res.Outputs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: Figure 2 instantiation chain --------------------------------------
+
+func BenchmarkFig2Instantiation(b *testing.B) {
+	golf := pattern.GolfModel()
+	odmg := ODMGModel()
+	car := CarSchemaModel()
+	yatM := YatModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := InstanceOf(golf, car); err != nil {
+			b.Fatal(err)
+		}
+		if err := InstanceOf(car, odmg); err != nil {
+			b.Fatal(err)
+		}
+		if err := InstanceOf(odmg, yatM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: Figure 3 / Rule 1 scaling ------------------------------------------
+
+func BenchmarkFig3Rule1(b *testing.B) {
+	prog := mustProg(b, "program p\n"+yatl.Rule1Source)
+	for _, n := range []int{10, 100, 1000} {
+		store := workload.BrochureStore(n, 3, 20, 42)
+		b.Run(fmt.Sprintf("brochures=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRunB(b, prog, store)
+			}
+		})
+	}
+}
+
+// --- E5: Rule 3 heterogeneous join ------------------------------------------
+
+func BenchmarkRule3Join(b *testing.B) {
+	prog := mustProg(b, "program p\n"+yatl.Rule3Source)
+	for _, n := range []int{10, 50, 200} {
+		pool := workload.Suppliers(n/2+2, 7)
+		brochures := workload.Brochures(n, 2, pool, 7)
+		db := workload.DealerDatabase(brochures, pool, 7)
+		store := NewStore()
+		for i, br := range brochures {
+			store.Put(PlainName(fmt.Sprintf("b%d", i+1)), br.Tree())
+		}
+		for _, e := range ImportRelational(db).Entries() {
+			store.Put(e.Name, e.Tree)
+		}
+		b.Run(fmt.Sprintf("brochures=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRunB(b, prog, store)
+			}
+		})
+	}
+}
+
+// --- E6: Rule 4 ordered grouping --------------------------------------------
+
+func BenchmarkRule4Grouping(b *testing.B) {
+	prog := mustProg(b, "program p\n"+yatl.Rule4Source)
+	store := workload.BrochureStore(100, 8, 40, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustRunB(b, prog, store)
+	}
+}
+
+// --- E7: Figure 4 transpose ---------------------------------------------------
+
+func BenchmarkFig4Transpose(b *testing.B) {
+	prog := mustProg(b, TransposeRule)
+	for _, n := range []int{8, 32, 64} {
+		store := NewStore()
+		store.Put(PlainName("m"), workload.MatrixTree(n, n))
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRunB(b, prog, store)
+			}
+		})
+	}
+}
+
+// --- E8: the Web program ------------------------------------------------------
+
+func BenchmarkWebProgram(b *testing.B) {
+	prog := mustProg(b, WebRules)
+	for _, n := range []int{5, 25, 100} {
+		store := workload.ODMGStore(n, n/2+1, 3, 11)
+		b.Run(fmt.Sprintf("cars=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRunB(b, prog, store)
+			}
+		})
+	}
+}
+
+// --- E9: deriving WebCar --------------------------------------------------------
+
+func BenchmarkInstantiateWebCar(b *testing.B) {
+	web := mustProg(b, WebRules)
+	env := CarSchemaModel().Merge(ODMGModel())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Instantiate(web, pattern.PcarPattern(), &InstantiateOptions{Model: env}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: hierarchy dispatch ------------------------------------------------------
+
+func BenchmarkHierarchyDispatch(b *testing.B) {
+	// Dispatching through the six-rule Web hierarchy vs a program
+	// where only the generic Web2 exists: the hierarchy adds the
+	// specificity checks but converts objects the generic rule
+	// cannot.
+	full := mustProg(b, WebRules)
+	store := workload.ODMGStore(25, 13, 3, 11)
+	b.Run("full-hierarchy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mustRunB(b, full, store)
+		}
+	})
+	generic := mustProg(b, `
+program web2only
+`+yatl.ODMGModelSource+`
+rule Web2 {
+  head HtmlElement(Pany) = S
+  from Pany = Data
+  let S = data_to_string(Data)
+}
+`)
+	b.Run("generic-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mustRunB(b, generic, store)
+		}
+	})
+}
+
+// --- E11: composed vs sequential (the §4.3 claim) -------------------------------
+
+func BenchmarkComposedVsSequential(b *testing.B) {
+	first := mustProg(b, Rules1And2Typed)
+	second := mustProg(b, WebRules)
+	composed, err := ComposePrograms(first, second, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{10, 50, 200} {
+		inputs := workload.BrochureStore(n, 3, n/2+2, 5)
+		b.Run(fmt.Sprintf("sequential/brochures=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mid := mustRunB(b, first, inputs)
+				interm := NewStore()
+				for _, e := range mid.Outputs.Entries() {
+					interm.Put(e.Name, e.Tree)
+				}
+				mustRunB(b, second, interm)
+			}
+		})
+		b.Run(fmt.Sprintf("composed/brochures=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustRunB(b, composed, inputs)
+			}
+		})
+	}
+}
+
+// --- E12: typing ------------------------------------------------------------------
+
+func BenchmarkSignatureInference(b *testing.B) {
+	prog := mustProg(b, WebRules)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Infer(prog, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks and ablations (DESIGN.md §6) ---------------------------------
+
+func BenchmarkParseProgram(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseProgram(WebRules); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatcherRule1(b *testing.B) {
+	rule, err := ParseRule(trimLead(yatl.Rule1Source))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &engine.Matcher{}
+	store := workload.BrochureStore(1, 8, 8, 1)
+	input, _ := store.Get(PlainName("b1"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bs := m.MatchTree(rule.Body[0].Tree, input); len(bs) == 0 {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func trimLead(s string) string {
+	for len(s) > 0 && (s[0] == '\n' || s[0] == ' ') {
+		s = s[1:]
+	}
+	return s
+}
+
+// Ablation: cached conformance checking (the matcher's strategy) vs
+// rebuilding the ground model per check (the naive pattern.Conforms).
+func BenchmarkConformanceCachedVsUncached(b *testing.B) {
+	store := workload.ODMGStore(50, 25, 3, 9)
+	model := CarSchemaModel()
+	c1, _ := store.Get(PlainName("c1"))
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !Conforms(c1, store, model, "Pcar") {
+				b.Fatal("should conform")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		checker := pattern.NewConformanceChecker(store, model)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !checker.Conforms(c1, "Pcar") {
+				b.Fatal("should conform")
+			}
+		}
+	})
+}
+
+// Ablation: Skolem identity keying — canonical Name.Key encoding cost
+// for plain, atom-argument and subtree-argument identities.
+func BenchmarkSkolemKeying(b *testing.B) {
+	subtree := workload.MatrixTree(4, 4)
+	names := []Name{
+		PlainName("s1"),
+		SkolemName("Psup", tree.String("VW center")),
+		SkolemName("HtmlElement", tree.TreeVal{Root: subtree}),
+	}
+	labels := []string{"plain", "atom-arg", "subtree-arg"}
+	for i, n := range names {
+		b.Run(labels[i], func(b *testing.B) {
+			b.ReportAllocs()
+			for j := 0; j < b.N; j++ {
+				if n.Key() == "" {
+					b.Fatal("empty key")
+				}
+			}
+		})
+	}
+}
+
+// Ablation: the binding join strategy — hash join vs the naive
+// Cartesian product with consistency filtering (Rule 3's shape).
+func BenchmarkJoinStrategies(b *testing.B) {
+	mk := func(n int, key string) []engine.Binding {
+		out := make([]engine.Binding, n)
+		for i := range out {
+			out[i] = engine.Binding{
+				key:   tree.Int(int64(i % 50)),
+				"pay": tree.String(fmt.Sprintf("row-%d", i)),
+			}
+		}
+		return out
+	}
+	as := mk(400, "K")
+	bs := mk(400, "K")
+	b.Run("hash-join", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := engine.HashJoinForBench(as, bs); len(got) == 0 {
+				b.Fatal("empty join")
+			}
+		}
+	})
+	b.Run("nested-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := engine.ProductForBench(as, bs); len(got) == 0 {
+				b.Fatal("empty join")
+			}
+		}
+	})
+}
+
+// Composition setup cost (one-time, amortized over runs).
+func BenchmarkComposeSetup(b *testing.B) {
+	first := mustProg(b, Rules1And2Typed)
+	second := mustProg(b, WebRules)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComposePrograms(first, second, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SGML import path: parse + validate + convert.
+func BenchmarkSGMLImport(b *testing.B) {
+	docs := workload.BrochureDocs(50, 3, 20, 13)
+	opts := &SGMLOptions{InferTypes: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ImportSGML(docs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// compose.Combine is cheap; included to round out §4 coverage.
+func BenchmarkCombine(b *testing.B) {
+	web := mustProg(b, WebRules)
+	sgml := mustProg(b, Rules1And2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := compose.Combine("all", web, sgml); len(p.Rules) != 8 {
+			b.Fatal("combine lost rules")
+		}
+	}
+}
+
+// Mediator query over the virtual target (extension S19): first query
+// pays the materialization, later queries are matching only.
+func BenchmarkMediatorQuery(b *testing.B) {
+	prog := mustProg(b, Rules1And2)
+	inputs := workload.BrochureStore(50, 3, 20, 21)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewMediator(prog, inputs, nil)
+			if _, err := m.Ask(`class -> supplier < -> name -> N, -> city -> C, -> zip -> Z >`, "Psup"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		m := NewMediator(prog, inputs, nil)
+		if _, err := m.Ask(`X`); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Ask(`class -> supplier < -> name -> N, -> city -> C, -> zip -> Z >`, "Psup"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestInspectBuiltinProgram(t *testing.T) {
+	var b strings.Builder
+	if err := inspectProgram(&b, "odmg2html"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"program odmg2html: 6 rules",
+		"safety: ok",
+		"rule hierarchy",
+		"Web6 shadows Web2",
+		"signature M_IN",
+		"HtmlPage",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestInspectUnknownProgram(t *testing.T) {
+	var b strings.Builder
+	if err := inspectProgram(&b, "nope"); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestInspectStore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.yat")
+	if err := os.WriteFile(path, []byte(`b1: brochure < title < "Golf" > >`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := inspectStore(&b, path, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "brochure") {
+		t.Errorf("store dump wrong: %s", b.String())
+	}
+	b.Reset()
+	if err := inspectStore(&b, path, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "digraph yat") {
+		t.Errorf("dot dump wrong: %s", b.String())
+	}
+	if err := inspectStore(&b, filepath.Join(dir, "missing"), false); err == nil {
+		t.Error("missing store accepted")
+	}
+}

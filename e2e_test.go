@@ -1,0 +1,173 @@
+package yat
+
+// End-to-end tests over the public facade: the Figure 1 scenario and
+// the cross-cutting guarantees a downstream user relies on.
+
+import (
+	"strings"
+	"testing"
+
+	"yat/internal/odmg"
+	"yat/internal/pattern"
+	"yat/internal/workload"
+)
+
+func TestE2EFigure1Scenario(t *testing.T) {
+	// Sources.
+	pool := workload.Suppliers(4, 2024)
+	brochures := workload.Brochures(3, 2, pool, 2024)
+	docs := map[string]string{}
+	for i, b := range brochures {
+		docs[string(rune('a'+i))] = b.SGML()
+	}
+	db := workload.DealerDatabase(brochures, pool, 2024)
+
+	sgmlStore, err := ImportSGML(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relStore := ImportRelational(db)
+	inputs := NewStore()
+	for _, e := range sgmlStore.Entries() {
+		inputs.Put(e.Name, e.Tree)
+	}
+	for _, e := range relStore.Entries() {
+		inputs.Put(e.Name, e.Tree)
+	}
+
+	// Conversion (1): to ODMG, materialized and schema-checked.
+	prog, err := ParseProgram(Rules1And2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objDB, err := ImportODMG(res.Outputs, odmg.CarDealerSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objDB.OfClass("car")) != 3 {
+		t.Errorf("cars = %d, want 3", len(objDB.OfClass("car")))
+	}
+
+	// Conversion (2): to HTML.
+	web, err := ParseProgram(WebRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	webRes, err := Run(web, ExportODMG(objDB), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := ExportHTML(webRes.Outputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 3+len(objDB.OfClass("supplier")) {
+		t.Errorf("pages = %d", len(pages))
+	}
+	for _, p := range pages {
+		if !strings.Contains(p, "<html>") {
+			t.Error("malformed page")
+		}
+	}
+}
+
+func TestE2ETypedPipelineTypeChecks(t *testing.T) {
+	prog, err := ParseProgram(Rules1And2Typed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckOutput(prog, nil, ODMGModel()); err != nil {
+		t.Errorf("typed program should check against ODMG: %v", err)
+	}
+	if err := CheckInput(prog, nil, BrochureModel()); err != nil {
+		t.Errorf("typed program should accept brochure inputs: %v", err)
+	}
+	web, err := ParseProgram(WebRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Compatible(prog, web, nil); err != nil {
+		t.Errorf("pipeline should be compatible: %v", err)
+	}
+}
+
+func TestE2ELibraryRoundTrip(t *testing.T) {
+	lib := BuiltinLibrary()
+	dir := t.TempDir()
+	if err := lib.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh process would reload and re-run identically.
+	prog, ok := lib.Program("sgml2odmg")
+	if !ok {
+		t.Fatal("builtin program missing")
+	}
+	inputs := workload.BrochureStore(2, 2, 3, 1)
+	r1, err := Run(prog, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseProgram(prog.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(reparsed, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatStore(r1.Outputs) != FormatStore(r2.Outputs) {
+		t.Error("print/parse round trip changed program behaviour")
+	}
+}
+
+func TestE2EDTDDerivedModelTypesTheProgram(t *testing.T) {
+	// The DTD-derived model and the program's inferred input model
+	// agree: imported documents conform to both.
+	docs := workload.BrochureDocs(3, 2, 3, 6)
+	inputs, err := ImportSGML(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range inputs.Entries() {
+		if !Conforms(e.Tree, inputs, BrochureModel(), "Pbr") {
+			t.Errorf("import does not conform to Pbr: %s", e.Name)
+		}
+	}
+}
+
+func TestE2EInstantiationChain(t *testing.T) {
+	// The full Figure 2 chain through the facade.
+	if err := InstanceOf(CarSchemaModel(), ODMGModel()); err != nil {
+		t.Error(err)
+	}
+	if err := InstanceOf(ODMGModel(), YatModel()); err != nil {
+		t.Error(err)
+	}
+	if err := InstanceOf(pattern.GolfModel(), CarSchemaModel()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestE2EMediatorOverScenario(t *testing.T) {
+	prog, err := ParseProgram(Rules1And2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMediator(prog, workload.BrochureStore(4, 2, 3, 12), nil)
+	answers, err := m.Ask(`class -> supplier < -> name -> N, -> city -> C, -> zip -> Z >`, "Psup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no supplier answers")
+	}
+	for _, a := range answers {
+		if a.Binding["Z"].Kind().String() != "int" {
+			t.Errorf("zip should be int, got %v", a.Binding["Z"])
+		}
+	}
+}

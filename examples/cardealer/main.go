@@ -1,0 +1,100 @@
+// Cardealer reproduces the full translation scenario of Figure 1: a
+// car dealer company stores dealers in a relational system and car
+// descriptions in SGML brochures; everything is integrated into an
+// ODMG object database and published as HTML pages.
+//
+//	SGML brochures ──┐
+//	                 ├─(1: Rules 1+2, Rule 3)──► ODMG objects
+//	relational DB ───┘                              │
+//	                                   (2: Web1–Web6)──► HTML pages
+//
+// Run with: go run ./examples/cardealer
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"yat"
+	"yat/internal/odmg"
+	"yat/internal/workload"
+)
+
+func main() {
+	// ── Sources ────────────────────────────────────────────────────
+	// Synthetic but paper-shaped: brochures and a dealer database
+	// over a shared supplier pool.
+	pool := workload.Suppliers(4, 2024)
+	brochures := workload.Brochures(3, 2, pool, 2024)
+	docs := map[string]string{}
+	for i, b := range brochures {
+		docs[fmt.Sprintf("b%d", i+1)] = b.SGML()
+	}
+	dealerDB := workload.DealerDatabase(brochures, pool, 2024)
+
+	sgmlStore, err := yat.ImportSGML(docs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relStore := yat.ImportRelational(dealerDB)
+
+	inputs := yat.NewStore()
+	for _, e := range sgmlStore.Entries() {
+		inputs.Put(e.Name, e.Tree)
+	}
+	for _, e := range relStore.Entries() {
+		inputs.Put(e.Name, e.Tree)
+	}
+	fmt.Printf("sources: %d SGML brochures + relational %v\n",
+		sgmlStore.Len(), dealerDB.Names())
+
+	// ── Conversion (1): both sources → ODMG ───────────────────────
+	// Rules 1 and 2 convert brochures; Rule 3 joins them with the
+	// relational database (§3.2). Combining the programs yields the
+	// single unified conversion of Figure 1.
+	fromSGML, err := yat.ParseProgram(yat.Rules1And2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := yat.Run(fromSGML, inputs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Materialize into the object database and validate against the
+	// ODMG schema.
+	db, err := yat.ImportODMG(result.Outputs, odmg.CarDealerSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("materialized: %d car objects, %d supplier objects (schema checked)\n",
+		len(db.OfClass("car")), len(db.OfClass("supplier")))
+
+	// ── Conversion (2): ODMG → HTML ────────────────────────────────
+	web, err := yat.ParseProgram(yat.WebRules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	objects := yat.ExportODMG(db)
+	webResult, err := yat.Run(web, objects, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pages, err := yat.ExportHTML(webResult.Outputs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	urls := make([]string, 0, len(pages))
+	for u := range pages {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	fmt.Printf("published %d HTML pages:\n", len(urls))
+	for _, u := range urls {
+		fmt.Println("  ", u)
+	}
+	fmt.Println("\n— first page —")
+	fmt.Println(pages[urls[0]])
+}

@@ -1,0 +1,47 @@
+// Matrix reproduces Figure 4: Rule 5 transposes any matrix using
+// YATL's index edges, here the 3×2 table of monthly car sales.
+//
+// Run with: go run ./examples/matrix
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yat"
+)
+
+func main() {
+	// The Figure 4 sales matrix: months × models.
+	input, err := yat.ParseTree(`sales < jan < golf < 10 >, polo < 20 > >,
+	                                     feb < golf < 30 >, polo < 40 > >,
+	                                     mar < golf < 50 >, polo < 60 > > >`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := yat.NewStore()
+	store.Put(yat.PlainName("sales"), input)
+
+	prog, err := yat.ParseProgram(yat.TransposeRule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("— Rule 5 —")
+	fmt.Println(prog.Rules[0].String())
+
+	result, err := yat.Run(prog, store, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Rule 5's Skolem New(Id) is keyed by the input's identity — a
+	// reference to the named input tree.
+	out, ok := result.Outputs.Get(yat.SkolemName("New", yat.Ref{Name: yat.PlainName("sales")}))
+	if !ok {
+		log.Fatal("transpose output missing")
+	}
+
+	fmt.Println("input (months × models):")
+	fmt.Print(input.Indent())
+	fmt.Println("transposed (models × months):")
+	fmt.Print(out.Indent())
+}

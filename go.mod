@@ -1,0 +1,3 @@
+module yat
+
+go 1.22

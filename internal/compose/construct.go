@@ -1,0 +1,416 @@
+package compose
+
+import (
+	"fmt"
+
+	"yat/internal/pattern"
+	"yat/internal/yatl"
+)
+
+// maxInlineDepth bounds the recursive static expansion of
+// dereferenced Skolems; recursive programs instantiated on recursive
+// patterns would otherwise diverge.
+const maxInlineDepth = 64
+
+// construct rebuilds a head pattern tree with the group's fragments
+// substituted — the symbolic counterpart of the engine's output
+// construction.
+func (ev *evaluator) construct(head *pattern.PTree, group []symBinding, d *derivation) (*pattern.PTree, error) {
+	return ev.constructDepth(head, group, d, 0)
+}
+
+func (ev *evaluator) constructDepth(head *pattern.PTree, group []symBinding, d *derivation, depth int) (*pattern.PTree, error) {
+	if depth > maxInlineDepth {
+		return nil, fmt.Errorf("static expansion exceeds depth %d (recursive pattern?)", maxInlineDepth)
+	}
+	switch label := head.Label.(type) {
+	case pattern.Const:
+		node := pattern.NewConst(label.Value)
+		if err := ev.constructEdges(node, head.Edges, group, d, depth); err != nil {
+			return nil, err
+		}
+		return node, nil
+
+	case pattern.Var:
+		val, err := consistentFrag(group, label.Name)
+		if err != nil {
+			return nil, err
+		}
+		if len(head.Edges) == 0 {
+			return val.frag.Clone(), nil
+		}
+		// Internal head variable: the fragment must be a label.
+		frag := val.frag
+		if len(frag.Edges) > 0 {
+			return nil, fmt.Errorf("variable %s labels an inner node but holds subtree %s", label.Name, frag)
+		}
+		node := &pattern.PTree{Label: frag.Label}
+		if err := ev.constructEdges(node, head.Edges, group, d, depth); err != nil {
+			return nil, err
+		}
+		return node, nil
+
+	case pattern.PatRef:
+		if len(head.Edges) > 0 {
+			return nil, fmt.Errorf("pattern reference %s cannot have children in a head", label.Display())
+		}
+		if label.Ref {
+			args, err := ev.substHeadArgs(label.Args, group, d)
+			if err != nil {
+				return nil, err
+			}
+			return pattern.NewPatRef(label.Name, true, args...), nil
+		}
+		return ev.resolveDeref(label, group, d, depth)
+	}
+	return nil, fmt.Errorf("unknown head label")
+}
+
+// consistentFrag returns the fragment a variable is bound to,
+// requiring all alternatives of the group to agree (the static
+// counterpart of the run-time non-determinism alert).
+func consistentFrag(group []symBinding, name string) (symVal, error) {
+	val, ok := group[0][name]
+	if !ok {
+		return symVal{}, fmt.Errorf("head variable %s is unbound", name)
+	}
+	for _, b := range group[1:] {
+		other, ok := b[name]
+		if !ok || other.frag.String() != val.frag.String() {
+			return symVal{}, fmt.Errorf("head variable %s takes distinct fragments across alternatives", name)
+		}
+	}
+	return val, nil
+}
+
+// substHeadArgs substitutes Skolem arguments inside a head tree,
+// splicing arguments of reference fragments and rewriting argless
+// data references into join variables on the derived body.
+func (ev *evaluator) substHeadArgs(args []pattern.Arg, group []symBinding, d *derivation) ([]pattern.Arg, error) {
+	var out []pattern.Arg
+	for _, a := range args {
+		if !a.IsVar {
+			out = append(out, a)
+			continue
+		}
+		val, err := consistentFrag(group, a.Var)
+		if err != nil {
+			return nil, err
+		}
+		if ref, isOID := val.oid(); isOID {
+			if len(ref.Args) > 0 {
+				// Splice the reference's own Skolem arguments:
+				// HtmlPage(Pclass) with Pclass = &Psup(SN) becomes
+				// HtmlPage(SN).
+				out = append(out, ref.Args...)
+				continue
+			}
+			// An argless reference (&Psup on ground-style patterns):
+			// rewrite the body leaf into a join variable.
+			v := ev.refVar(val.frag, ref.Name, d)
+			out = append(out, pattern.VarArg(v))
+			continue
+		}
+		switch l := val.frag.Label.(type) {
+		case pattern.Var:
+			if len(val.frag.Edges) == 0 {
+				out = append(out, pattern.VarArg(l.Name))
+				continue
+			}
+		case pattern.Const:
+			if len(val.frag.Edges) == 0 {
+				out = append(out, pattern.ConstArg(l.Value))
+				continue
+			}
+		}
+		return nil, fmt.Errorf("Skolem argument %s bound to non-atomic fragment %s", a.Var, val.frag)
+	}
+	return out, nil
+}
+
+// refVar rewrites a reference leaf of the derived body into a
+// variable (named after the referenced pattern when free), so the
+// reference value can flow into head Skolem arguments and join with
+// residual body patterns. The same leaf always maps to the same
+// variable.
+func (ev *evaluator) refVar(frag *pattern.PTree, refName string, d *derivation) string {
+	if v, ok := frag.Label.(pattern.Var); ok {
+		return v.Name // already rewritten
+	}
+	name := ev.fresh(refName, d.used)
+	// Type the join variable as "a reference to refName" when the
+	// pattern is known; this is what keeps the derived rule provably
+	// more specific than the generic one (§4.2 conflicts).
+	dom := pattern.AnyDomain
+	if _, known := ev.env.Get(refName); known {
+		dom = pattern.RefDomain(refName)
+	}
+	frag.Label = pattern.Var{Name: name, Domain: dom}
+	return name
+}
+
+// resolveDeref statically expands a dereferenced Skolem invocation
+// ^F(args): the functor group of F is applied symbolically to the
+// argument fragment (most specific rule first) and the resulting head
+// is inlined — the paper's WebCar derivation. What cannot be
+// resolved statically remains a dynamic deref in the derived rule.
+func (ev *evaluator) resolveDeref(ref pattern.PatRef, group []symBinding, d *derivation, depth int) (*pattern.PTree, error) {
+	if len(ref.Args) != 1 || !ref.Args[0].IsVar {
+		// Constant or multi-argument derefs stay dynamic.
+		return pattern.NewPatRef(ref.Name, false, ref.Args...), nil
+	}
+	val, err := consistentFrag(group, ref.Args[0].Var)
+	if err != nil {
+		return nil, err
+	}
+	frag := val.frag
+
+	if target, isOID := frag.Label.(pattern.PatRef); isOID && len(frag.Edges) == 0 {
+		// The argument is a reference &Q(...): the conversion applies
+		// to the referenced value.
+		if producers, ok := ev.producers[target.Name]; ok && len(producers) > 0 {
+			// Composition: Q is a Skolem functor of the first program;
+			// its value pattern is that rule's head tree. No residual
+			// body is needed — the composed program never materializes
+			// the intermediate object.
+			prodHead := producers[0].Head.Tree.Clone()
+			renameFresh(prodHead, ev, d)
+			inline, err := ev.inlineFunctor(ref.Name, prodHead, symVal{frag: frag}, d, depth)
+			if err != nil {
+				return nil, err
+			}
+			if inline != nil {
+				return inline, nil
+			}
+			return nil, fmt.Errorf("no rule of functor %s applies to the %s value pattern", ref.Name, target.Name)
+		}
+		if qPat, known := ev.env.Get(target.Name); known && len(qPat.Union) > 0 {
+			// Instantiation: the referenced pattern is known from the
+			// model. The target pattern joins the derived body as a
+			// residual input (the paper's "incomplete Psup pattern"),
+			// connected through the rewritten reference variable.
+			joinVar := ev.refVar(frag, target.Name, d)
+			qTree := qPat.Union[0].Clone()
+			renameFresh(qTree, ev, d)
+			d.addBody(residualBody(joinVar, qTree))
+			inline, err := ev.inlineFunctor(ref.Name, qTree, symVal{frag: pattern.NewVar(joinVar, pattern.AnyDomain)}, d, depth)
+			if err != nil {
+				return nil, err
+			}
+			if inline != nil {
+				return inline, nil
+			}
+			return pattern.NewPatRef(ref.Name, false, pattern.VarArg(joinVar)), nil
+		}
+		// Unknown reference target: keep the deref dynamic over the
+		// rewritten join variable.
+		joinVar := ev.refVar(frag, target.Name, d)
+		return pattern.NewPatRef(ref.Name, false, pattern.VarArg(joinVar)), nil
+	}
+
+	// Plain fragment (variable, constant or subtree): apply F's group
+	// to it directly.
+	inline, err := ev.inlineFunctor(ref.Name, frag, symVal{frag: frag}, d, depth)
+	if err != nil {
+		return nil, err
+	}
+	if inline != nil {
+		return inline, nil
+	}
+	// No rule applies statically: keep a dynamic deref when the
+	// argument is expressible.
+	switch l := frag.Label.(type) {
+	case pattern.Var:
+		if len(frag.Edges) == 0 {
+			return pattern.NewPatRef(ref.Name, false, pattern.VarArg(l.Name)), nil
+		}
+	case pattern.Const:
+		if len(frag.Edges) == 0 {
+			return pattern.NewPatRef(ref.Name, false, pattern.ConstArg(l.Value)), nil
+		}
+	}
+	return nil, fmt.Errorf("no rule of functor %s matches fragment %s", ref.Name, frag)
+}
+
+// inlineFunctor symbolically applies the most specific matching rule
+// of a functor group to a fragment and returns its constructed head
+// (nil when no rule matches). Rule variables are renamed fresh per
+// application, as the paper requires for WebCar's T1/D1.
+func (ev *evaluator) inlineFunctor(functor string, target *pattern.PTree, identity symVal, d *derivation, depth int) (*pattern.PTree, error) {
+	blocked := map[string]bool{}
+	for _, rule := range ev.groups[functor] {
+		if blocked[rule.Name] || len(rule.Body) != 1 || rule.Exception {
+			continue
+		}
+		ren := map[string]string{}
+		for _, v := range rule.Vars() {
+			ren[v] = ev.fresh(v, d.used)
+		}
+		r := rule.RenameVars(ren)
+		group := ev.match.match(r.Body[0].Tree, target)
+		if len(group) == 0 {
+			continue
+		}
+		for _, name := range ev.blocks[rule.Name] {
+			blocked[name] = true
+		}
+		for i := range group {
+			nb := group[i].clone()
+			nb[r.Body[0].Var] = identity
+			group[i] = nb
+		}
+		head, err := ev.inlineRule(r, group, d, depth+1)
+		if err != nil {
+			return nil, fmt.Errorf("inlining %s: %w", rule.Name, err)
+		}
+		if head == nil {
+			continue
+		}
+		return head, nil
+	}
+	return nil, nil
+}
+
+// applyRuleDepth partially evaluates one rule application: lets and
+// constant predicates run per alternative, then the head tree is
+// rebuilt with fragments substituted. A nil head with nil error means
+// every alternative was statically filtered out.
+func (ev *evaluator) applyRuleDepth(rule *yatl.Rule, group []symBinding, d *derivation, depth int) (*pattern.PTree, []pattern.Arg, error) {
+	kept := group[:0:0]
+	for _, b := range group {
+		nb, ok, err := ev.evalLetsAndPreds(rule, b, d)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			kept = append(kept, nb)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, nil, nil
+	}
+	args, err := ev.substHeadArgs(rule.Head.Args, kept[:1], d)
+	if err != nil {
+		return nil, nil, err
+	}
+	head, err := ev.constructDepth(rule.Head.Tree, kept, d, depth)
+	if err != nil {
+		return nil, nil, err
+	}
+	return head, args, nil
+}
+
+// inlineRule is applyRuleDepth for inlined applications: the inlined
+// value replaces a deref site, so the inner rule's own Skolem
+// identity is irrelevant and its arguments are not substituted.
+func (ev *evaluator) inlineRule(rule *yatl.Rule, group []symBinding, d *derivation, depth int) (*pattern.PTree, error) {
+	kept := group[:0:0]
+	for _, b := range group {
+		nb, ok, err := ev.evalLetsAndPreds(rule, b, d)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			kept = append(kept, nb)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, nil
+	}
+	return ev.constructDepth(rule.Head.Tree, kept, d, depth)
+}
+
+// constructEdges rebuilds the children of a head node. Alternatives
+// bound under star-like input edges keep the iterating edge; the
+// others expand statically into One edges (WebCar's three explicit
+// li items vs its kept `ul -*> li` over the suppliers).
+func (ev *evaluator) constructEdges(node *pattern.PTree, edges []pattern.Edge, group []symBinding, d *derivation, depth int) error {
+	for _, e := range edges {
+		if e.Occ == pattern.OccOne {
+			child, err := ev.constructDepth(e.To, group, d, depth)
+			if err != nil {
+				return err
+			}
+			node.Edges = append(node.Edges, pattern.One(child))
+			continue
+		}
+		vars := e.To.Vars()
+		seen := map[string]bool{}
+		for _, b := range group {
+			child, err := ev.constructDepth(e.To, []symBinding{b}, d, depth)
+			if err != nil {
+				return err
+			}
+			star := bindingIsStar(b, vars)
+			occ := pattern.OccOne
+			outEdge := pattern.One(child)
+			if star {
+				occ = e.Occ
+				outEdge = pattern.Edge{Occ: e.Occ, OrderBy: append([]string(nil), e.OrderBy...), Index: e.Index, To: child}
+			}
+			key := fmt.Sprintf("%d|%s", occ, child.String())
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			node.Edges = append(node.Edges, outEdge)
+		}
+	}
+	return nil
+}
+
+// bindingIsStar reports whether any of the edge's variables was bound
+// under a star-like input edge in this alternative.
+func bindingIsStar(b symBinding, vars []string) bool {
+	for _, v := range vars {
+		if val, ok := b[v]; ok && val.star {
+			return true
+		}
+	}
+	return false
+}
+
+// renameFresh renames every variable of a pattern tree to a fresh
+// name, keeping the derivation's used-set consistent.
+func renameFresh(t *pattern.PTree, ev *evaluator, d *derivation) {
+	ren := map[string]string{}
+	for _, v := range t.Vars() {
+		ren[v] = ev.fresh(v, d.used)
+	}
+	renamePTree(t, ren)
+}
+
+func renamePTree(t *pattern.PTree, ren map[string]string) {
+	lookup := func(v string) string {
+		if n, ok := ren[v]; ok {
+			return n
+		}
+		return v
+	}
+	switch l := t.Label.(type) {
+	case pattern.Var:
+		t.Label = pattern.Var{Name: lookup(l.Name), Domain: l.Domain}
+	case pattern.PatRef:
+		args := append([]pattern.Arg(nil), l.Args...)
+		for i, a := range args {
+			if a.IsVar {
+				args[i].Var = lookup(a.Var)
+			}
+		}
+		t.Label = pattern.PatRef{Name: l.Name, Args: args, Ref: l.Ref}
+	}
+	for i := range t.Edges {
+		e := &t.Edges[i]
+		if e.Index != "" {
+			e.Index = lookup(e.Index)
+		}
+		for j, v := range e.OrderBy {
+			e.OrderBy[j] = lookup(v)
+		}
+		renamePTree(e.To, ren)
+	}
+}
+
+func residualBody(varName string, t *pattern.PTree) yatl.BodyPattern {
+	return yatl.BodyPattern{Var: varName, Tree: t}
+}

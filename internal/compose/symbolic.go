@@ -1,0 +1,356 @@
+// Package compose implements the program-level operations of §4:
+// instantiation of a general program onto a specific pattern
+// (customization, §4.1), combination of programs into one rule
+// hierarchy (§4.2) and composition of two programs into a one-step
+// conversion that skips the intermediate model (§4.3).
+//
+// All three are built on a symbolic evaluator: rule bodies are
+// matched against *patterns* instead of ground data, binding rule
+// variables to pattern fragments, and rule heads are rebuilt with
+// those fragments substituted. Dereferenced Skolem invocations are
+// resolved statically by recursively instantiating the target functor
+// group, mirroring the WebCar derivation step by step.
+package compose
+
+import (
+	"yat/internal/pattern"
+)
+
+// symVal is the value a rule variable takes during symbolic
+// evaluation: a fragment of the input pattern. The fragment may be a
+// constant leaf, a variable of the input pattern, a whole subtree, or
+// a Skolem reference leaf (&F(args)), which additionally records the
+// reference's functor and arguments for static resolution.
+type symVal struct {
+	frag *pattern.PTree
+	// star marks fragments bound under a star-like edge of the input
+	// pattern: the instantiated head keeps an iterating edge for them
+	// instead of expanding statically.
+	star bool
+}
+
+// oid returns the Skolem reference carried by the fragment, if any.
+func (v symVal) oid() (pattern.PatRef, bool) {
+	if v.frag == nil {
+		return pattern.PatRef{}, false
+	}
+	ref, ok := v.frag.Label.(pattern.PatRef)
+	if !ok || len(v.frag.Edges) > 0 {
+		return pattern.PatRef{}, false
+	}
+	return ref, ok
+}
+
+// symBinding maps rule variables to pattern fragments.
+type symBinding map[string]symVal
+
+func (b symBinding) clone() symBinding {
+	c := make(symBinding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// merge combines two bindings; shared variables must bind fragments
+// with the same rendering.
+func (b symBinding) merge(o symBinding) (symBinding, bool) {
+	out := b.clone()
+	for k, v := range o {
+		if prev, ok := out[k]; ok {
+			if prev.frag.String() != v.frag.String() {
+				return nil, false
+			}
+			continue
+		}
+		out[k] = v
+	}
+	return out, true
+}
+
+func symProduct(as, bs []symBinding) []symBinding {
+	if len(as) == 0 || len(bs) == 0 {
+		return nil
+	}
+	var out []symBinding
+	for _, a := range as {
+		for _, b := range bs {
+			if m, ok := a.merge(b); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// symMatcher matches rule body trees against pattern trees. model
+// resolves pattern-domain variables and pattern references of the
+// input side (may be nil: unknown patterns are accepted, §3.5).
+type symMatcher struct {
+	model *pattern.Model
+}
+
+// match returns the symbolic bindings under which the input pattern
+// tree instantiates the body tree.
+func (m *symMatcher) match(body, input *pattern.PTree) []symBinding {
+	switch label := body.Label.(type) {
+	case pattern.Const:
+		li, ok := input.Label.(pattern.Const)
+		if !ok || !li.Value.Equal(label.Value) {
+			return nil
+		}
+		return m.matchEdges(body.Edges, input.Edges)
+
+	case pattern.Var:
+		if len(body.Edges) == 0 {
+			// Leaf variable: binds the whole input fragment.
+			if !m.domainAdmits(label.Domain, input) {
+				return nil
+			}
+			return []symBinding{{label.Name: symVal{frag: input}}}
+		}
+		// Internal variable: binds the input node's label.
+		if label.Domain.IsPattern() {
+			return nil
+		}
+		labelFrag, ok := m.labelFragment(input, label.Domain)
+		if !ok {
+			return nil
+		}
+		bs := m.matchEdges(body.Edges, input.Edges)
+		var out []symBinding
+		for _, b := range bs {
+			if prev, bound := b[label.Name]; bound {
+				if prev.frag.String() != labelFrag.String() {
+					continue
+				}
+				out = append(out, b)
+				continue
+			}
+			nb := b.clone()
+			nb[label.Name] = symVal{frag: labelFrag}
+			out = append(out, nb)
+		}
+		return out
+
+	case pattern.PatRef:
+		ri, ok := input.Label.(pattern.PatRef)
+		if !ok || len(input.Edges) > 0 {
+			return nil
+		}
+		if label.Ref != ri.Ref {
+			return nil
+		}
+		// Without arguments any reference to a compatible pattern is
+		// accepted; with arguments the functor must agree and the
+		// argument variables bind.
+		if len(label.Args) == 0 {
+			return []symBinding{{}}
+		}
+		if ri.Name != label.Name || len(ri.Args) != len(label.Args) {
+			return nil
+		}
+		b := symBinding{}
+		for i, a := range label.Args {
+			if !a.IsVar {
+				if ri.Args[i].IsVar || !ri.Args[i].Const.Equal(a.Const) {
+					return nil
+				}
+				continue
+			}
+			frag := argFragment(ri.Args[i])
+			if prev, bound := b[a.Var]; bound {
+				if prev.frag.String() != frag.String() {
+					return nil
+				}
+				continue
+			}
+			b[a.Var] = symVal{frag: frag}
+		}
+		return []symBinding{b}
+	}
+	return nil
+}
+
+// argFragment wraps a Skolem argument as a pattern fragment.
+func argFragment(a pattern.Arg) *pattern.PTree {
+	if a.IsVar {
+		return pattern.NewVar(a.Var, pattern.AnyDomain)
+	}
+	return pattern.NewConst(a.Const)
+}
+
+// labelFragment extracts the label of an input node as a fragment for
+// an internal body variable, checking the domain.
+func (m *symMatcher) labelFragment(input *pattern.PTree, dom pattern.Domain) (*pattern.PTree, bool) {
+	switch li := input.Label.(type) {
+	case pattern.Const:
+		if !dom.IsAny() && !dom.Contains(li.Value) {
+			return nil, false
+		}
+		return pattern.NewConst(li.Value), true
+	case pattern.Var:
+		if !li.Domain.SubsetOf(dom) {
+			return nil, false
+		}
+		return pattern.NewVar(li.Name, li.Domain), true
+	}
+	return nil, false
+}
+
+// domainAdmits checks a leaf body variable's domain against an input
+// fragment.
+func (m *symMatcher) domainAdmits(d pattern.Domain, input *pattern.PTree) bool {
+	if d.IsAny() {
+		return true
+	}
+	if d.IsRefPattern() {
+		// &P: the fragment must denote a reference — a &Q leaf or a
+		// variable already typed as a reference.
+		if len(input.Edges) > 0 {
+			return false
+		}
+		switch li := input.Label.(type) {
+		case pattern.PatRef:
+			if !li.Ref {
+				return false
+			}
+			if m.model == nil {
+				return true
+			}
+			if _, known := m.model.Get(li.Name); !known {
+				return true
+			}
+			return pattern.PatternInstanceOf(m.model, li.Name, m.model, d.Pattern)
+		case pattern.Var:
+			return li.Domain.IsRefPattern() &&
+				(li.Domain.Pattern == d.Pattern ||
+					m.model == nil ||
+					pattern.PatternInstanceOf(m.model, li.Domain.Pattern, m.model, d.Pattern))
+		}
+		return false
+	}
+	if d.IsPattern() {
+		if m.model == nil {
+			return true
+		}
+		dom, defined := m.model.Get(d.Pattern)
+		if !defined {
+			return true
+		}
+		// References are admitted when the referenced pattern (if
+		// known) instantiates the domain; unknown references are
+		// admitted optimistically, exactly like the paper's
+		// incomplete Psup pattern.
+		if ref, ok := input.Label.(pattern.PatRef); ok && len(input.Edges) == 0 {
+			target, known := m.model.Get(ref.Name)
+			if !known {
+				return true
+			}
+			_ = target
+			return pattern.PatternInstanceOf(m.model, ref.Name, m.model, d.Pattern) ||
+				refAdmittedViaBranch(m.model, ref, dom)
+		}
+		return pattern.TreeInstanceOf(m.model, input, m.model, &pattern.PTree{
+			Label: pattern.PatRef{Name: d.Pattern},
+		}) || anyBranchInstance(m.model, input, dom)
+	}
+	// Kind/symbol domains admit constant leaves in the domain and
+	// variables with subset domains.
+	if len(input.Edges) > 0 {
+		return false
+	}
+	switch li := input.Label.(type) {
+	case pattern.Const:
+		return d.Contains(li.Value)
+	case pattern.Var:
+		return li.Domain.SubsetOf(d)
+	}
+	return false
+}
+
+func anyBranchInstance(model *pattern.Model, input *pattern.PTree, dom *pattern.Pattern) bool {
+	for _, branch := range dom.Union {
+		if pattern.TreeInstanceOf(model, input, model, branch) {
+			return true
+		}
+	}
+	return false
+}
+
+// refAdmittedViaBranch accepts &Q against a pattern domain that has a
+// &P branch with Q an instance of P (the Ptype/&Pclass case).
+func refAdmittedViaBranch(model *pattern.Model, ref pattern.PatRef, dom *pattern.Pattern) bool {
+	for _, branch := range dom.Union {
+		br, ok := branch.Label.(pattern.PatRef)
+		if !ok || !br.Ref || len(branch.Edges) > 0 {
+			continue
+		}
+		if pattern.PatternInstanceOf(model, ref.Name, model, br.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchEdges matches input edges against body edges. A body One edge
+// consumes exactly one input One edge. A body star-like edge consumes
+// a run of input edges: input One edges contribute statically
+// expandable alternatives, input star-like edges contribute one
+// alternative marked star (the instantiated rule keeps the
+// iteration).
+func (m *symMatcher) matchEdges(body, input []pattern.Edge) []symBinding {
+	if len(body) == 0 {
+		if len(input) == 0 {
+			return []symBinding{{}}
+		}
+		return nil
+	}
+	e := body[0]
+	if e.Occ == pattern.OccOne {
+		if len(input) == 0 || input[0].Occ != pattern.OccOne {
+			return nil
+		}
+		head := m.match(e.To, input[0].To)
+		if len(head) == 0 {
+			return nil
+		}
+		rest := m.matchEdges(body[1:], input[1:])
+		return symProduct(head, rest)
+	}
+
+	// Star-like body edge.
+	hasVars := len(e.To.Vars()) > 0 || e.Occ == pattern.OccIndex
+	var out []symBinding
+	var runAlts []symBinding
+	for k := 0; ; k++ {
+		rest := m.matchEdges(body[1:], input[k:])
+		if len(rest) > 0 {
+			switch {
+			case !hasVars:
+				out = append(out, rest...)
+			case k > 0:
+				out = append(out, symProduct(runAlts, rest)...)
+			}
+		}
+		if k == len(input) {
+			break
+		}
+		bs := m.match(e.To, input[k].To)
+		if len(bs) == 0 {
+			break
+		}
+		star := input[k].Occ != pattern.OccOne
+		for _, b := range bs {
+			nb := b.clone()
+			if star {
+				for v, val := range nb {
+					val.star = true
+					nb[v] = val
+				}
+			}
+			runAlts = append(runAlts, nb)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"yat/internal/tree"
+)
+
+// Binding maps variable names to the values they were bound to during
+// pattern matching. Values are atoms and symbols for data variables,
+// tree.Ref for pattern variables bound to named inputs, and
+// tree.TreeVal for pattern variables bound to anonymous subtrees.
+type Binding map[string]tree.Value
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Merge combines two bindings; shared variables must agree ("the SN
+// variable is used in both body patterns to indicate that the
+// supplier name ... should be the same", §3.2). The boolean reports
+// whether the merge is consistent.
+func (b Binding) Merge(other Binding) (Binding, bool) {
+	out := b.Clone()
+	for k, v := range other {
+		if prev, ok := out[k]; ok {
+			if !prev.Equal(v) {
+				return nil, false
+			}
+			continue
+		}
+		out[k] = v
+	}
+	return out, true
+}
+
+// Project returns the canonical key of the binding restricted to the
+// given variables. Unbound variables contribute a distinguished
+// missing marker.
+func (b Binding) Project(vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		val, ok := b[v]
+		if !ok {
+			sb.WriteString("·∅;")
+			continue
+		}
+		sb.WriteString(val.Kind().String())
+		sb.WriteByte(':')
+		sb.WriteString(displayKey(val))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// displayKey returns an injective string for the value (trees use the
+// canonical Key encoding rather than the display form).
+func displayKey(v tree.Value) string {
+	if tv, ok := v.(tree.TreeVal); ok {
+		return tv.Root.Key()
+	}
+	return v.Display()
+}
+
+// Key returns a canonical key over all variables of the binding.
+func (b Binding) Key() string {
+	vars := make([]string, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var sb strings.Builder
+	for _, v := range vars {
+		sb.WriteString(v)
+		sb.WriteByte('=')
+		sb.WriteString(displayKey(b[v]))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// String renders the binding deterministically, for diagnostics.
+func (b Binding) String() string {
+	vars := make([]string, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = v + "=" + b[v].Display()
+	}
+	return "[" + strings.Join(parts, "; ") + "]"
+}
+
+// product merges every pair from as × bs, keeping consistent merges.
+func product(as, bs []Binding) []Binding {
+	if len(as) == 0 || len(bs) == 0 {
+		return nil
+	}
+	out := make([]Binding, 0, len(as))
+	for _, a := range as {
+		for _, b := range bs {
+			if m, ok := a.Merge(b); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// sharedVars returns the variables that occur in bindings of both
+// sides (computed from representative elements — all bindings of one
+// match list bind the same variables).
+func sharedVars(as, bs []Binding) []string {
+	if len(as) == 0 || len(bs) == 0 {
+		return nil
+	}
+	var out []string
+	for v := range as[0] {
+		if _, ok := bs[0][v]; ok {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HashJoinForBench and ProductForBench expose the two join strategies
+// to the ablation benchmarks (BenchmarkJoinStrategies).
+func HashJoinForBench(as, bs []Binding) []Binding { return hashJoin(as, bs) }
+
+// ProductForBench is the naive nested-loop join.
+func ProductForBench(as, bs []Binding) []Binding { return product(as, bs) }
+
+// hashJoin merges two binding lists on their shared variables. With
+// no shared variables it degrades to the Cartesian product. This is
+// the join used for multi-pattern rule bodies (Rule 3's heterogeneous
+// join, experiment E5).
+func hashJoin(as, bs []Binding) []Binding {
+	shared := sharedVars(as, bs)
+	if len(shared) == 0 {
+		return product(as, bs)
+	}
+	index := make(map[string][]Binding, len(bs))
+	for _, b := range bs {
+		k := b.Project(shared)
+		index[k] = append(index[k], b)
+	}
+	var out []Binding
+	for _, a := range as {
+		for _, b := range index[a.Project(shared)] {
+			if m, ok := a.Merge(b); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}

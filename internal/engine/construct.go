@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"yat/internal/pattern"
+	"yat/internal/tree"
+)
+
+// derefVal is the internal label of a placeholder node standing for a
+// dereferenced Skolem (^P(args) in a head). The final dereferencing
+// pass (§3.1: "dereferenciation is handled at the end of rules
+// processing") replaces these with the named value.
+type derefVal struct {
+	Name tree.Name
+}
+
+func (derefVal) Kind() tree.Kind { return tree.KindRef }
+
+func (d derefVal) Display() string { return "^" + d.Name.String() }
+
+func (d derefVal) Equal(v tree.Value) bool {
+	o, ok := v.(derefVal)
+	return ok && o.Name.Equal(d.Name)
+}
+
+// NonDetError reports the non-determinism the paper warns about at
+// run time: the same Skolem identity was associated with two distinct
+// values (§3.1: "we accept potentially non-deterministic programs and
+// alert the user at run time when the same pattern name is associated
+// to two distinct values").
+type NonDetError struct {
+	Rule string
+	OID  tree.Name
+	Why  string
+}
+
+func (e *NonDetError) Error() string {
+	return fmt.Sprintf("engine: non-deterministic program: rule %s, output %s: %s", e.Rule, e.OID, e.Why)
+}
+
+// skolemHook receives every Skolem identity minted while a head tree
+// is constructed, so the engine can register demands (deref targets
+// must exist) and activate subtree arguments for recursive programs.
+type skolemHook func(oid tree.Name, deref bool)
+
+// constructor builds output trees from a head pattern and a group of
+// bindings that share the head's Skolem identity.
+type constructor struct {
+	rule string
+	oid  tree.Name
+	hook skolemHook
+}
+
+// construct builds the output tree for one Skolem group. The group
+// must be non-empty.
+func (c *constructor) construct(pt *pattern.PTree, group []Binding) (*tree.Node, error) {
+	switch label := pt.Label.(type) {
+	case pattern.Const:
+		n := tree.New(label.Value)
+		return c.addEdges(n, pt.Edges, group)
+
+	case pattern.Var:
+		val, err := c.consistentValue(group, label.Name)
+		if err != nil {
+			return nil, err
+		}
+		switch v := val.(type) {
+		case tree.TreeVal:
+			if len(pt.Edges) > 0 {
+				return nil, &NonDetError{Rule: c.rule, OID: c.oid,
+					Why: fmt.Sprintf("variable %s holds a subtree but labels an inner node", label.Name)}
+			}
+			return v.Root.Clone(), nil
+		default:
+			n := tree.New(val)
+			return c.addEdges(n, pt.Edges, group)
+		}
+
+	case pattern.PatRef:
+		oid, err := c.evalSkolem(label, group)
+		if err != nil {
+			return nil, err
+		}
+		if len(pt.Edges) > 0 {
+			return nil, fmt.Errorf("engine: rule %s: pattern reference %s cannot have children in a head", c.rule, label.Display())
+		}
+		c.hook(oid, !label.Ref)
+		if label.Ref {
+			return tree.RefLeaf(oid), nil
+		}
+		return tree.New(derefVal{Name: oid}), nil
+	}
+	return nil, fmt.Errorf("engine: rule %s: unknown head label", c.rule)
+}
+
+// consistentValue returns the value of a variable, checking that the
+// whole group agrees (a disagreement outside a grouping edge is the
+// run-time non-determinism alert).
+func (c *constructor) consistentValue(group []Binding, name string) (tree.Value, error) {
+	val, ok := group[0][name]
+	if !ok {
+		return nil, fmt.Errorf("engine: rule %s: head variable %s is unbound", c.rule, name)
+	}
+	for _, b := range group[1:] {
+		other, ok := b[name]
+		if !ok || !other.Equal(val) {
+			return nil, &NonDetError{Rule: c.rule, OID: c.oid,
+				Why: fmt.Sprintf("variable %s takes distinct values %s and %s", name, val.Display(), other.Display())}
+		}
+	}
+	return val, nil
+}
+
+// evalSkolem computes the Skolem identity of a pattern reference for
+// the group (arguments must be consistent across the group).
+func (c *constructor) evalSkolem(ref pattern.PatRef, group []Binding) (tree.Name, error) {
+	args := make([]tree.Value, len(ref.Args))
+	for i, a := range ref.Args {
+		if !a.IsVar {
+			args[i] = a.Const
+			continue
+		}
+		v, err := c.consistentValue(group, a.Var)
+		if err != nil {
+			return tree.Name{}, err
+		}
+		args[i] = v
+	}
+	if len(args) == 0 {
+		return tree.PlainName(ref.Name), nil
+	}
+	return tree.SkolemName(ref.Name, args...), nil
+}
+
+// addEdges constructs the children of a node according to the
+// occurrence indicators (§3.1, §3.3):
+//
+//   - One: a single child; the whole group must agree on its value.
+//   - Star: implicit grouping, duplicates kept, input order — one
+//     child per binding.
+//   - Group ({}): grouping with duplicate elimination, one child per
+//     distinct projection of the variables under the edge.
+//   - Ordered ([]crit): grouping + ordering — one child per distinct
+//     projection, sorted by the criteria values.
+//   - Index (#I): one child per distinct index value, sorted
+//     numerically — array construction (Rule 5).
+func (c *constructor) addEdges(n *tree.Node, edges []pattern.Edge, group []Binding) (*tree.Node, error) {
+	for _, e := range edges {
+		switch e.Occ {
+		case pattern.OccOne:
+			child, err := c.construct(e.To, group)
+			if err != nil {
+				return nil, err
+			}
+			n.Add(child)
+
+		case pattern.OccStar:
+			for _, b := range group {
+				child, err := c.construct(e.To, []Binding{b})
+				if err != nil {
+					return nil, err
+				}
+				n.Add(child)
+			}
+
+		case pattern.OccGroup:
+			subgroups := partition(group, shallowVars(e.To))
+			for _, sg := range subgroups {
+				child, err := c.construct(e.To, sg.bindings)
+				if err != nil {
+					return nil, err
+				}
+				n.Add(child)
+			}
+
+		case pattern.OccOrdered:
+			vars := append(append([]string(nil), e.OrderBy...), shallowVars(e.To)...)
+			subgroups := partition(group, vars)
+			sort.SliceStable(subgroups, func(i, j int) bool {
+				return lessByCriteria(subgroups[i].bindings[0], subgroups[j].bindings[0], e.OrderBy)
+			})
+			for _, sg := range subgroups {
+				child, err := c.construct(e.To, sg.bindings)
+				if err != nil {
+					return nil, err
+				}
+				n.Add(child)
+			}
+
+		case pattern.OccIndex:
+			if e.Index == "" {
+				return nil, fmt.Errorf("engine: rule %s: index edge without variable", c.rule)
+			}
+			subgroups := partition(group, []string{e.Index})
+			sort.SliceStable(subgroups, func(i, j int) bool {
+				return lessByCriteria(subgroups[i].bindings[0], subgroups[j].bindings[0], []string{e.Index})
+			})
+			for _, sg := range subgroups {
+				child, err := c.construct(e.To, sg.bindings)
+				if err != nil {
+					return nil, err
+				}
+				n.Add(child)
+			}
+		}
+	}
+	return n, nil
+}
+
+// shallowVars collects the variables that determine a grouping edge's
+// child: variables occurring in the subtree outside any nested
+// collection edge. Variables appearing only below a nested grouping
+// edge belong to the inner grouping (`cats -{}> cat < -> C, -{}> item
+// -> N >` groups the outer level by C alone, nesting the items).
+func shallowVars(t *pattern.PTree) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walk func(pt *pattern.PTree)
+	walk = func(pt *pattern.PTree) {
+		switch l := pt.Label.(type) {
+		case pattern.Var:
+			add(l.Name)
+		case pattern.PatRef:
+			for _, a := range l.Args {
+				if a.IsVar {
+					add(a.Var)
+				}
+			}
+		}
+		for _, e := range pt.Edges {
+			if e.Occ != pattern.OccOne {
+				continue // nested collection: its vars group inside
+			}
+			walk(e.To)
+		}
+	}
+	walk(t)
+	return out
+}
+
+type subgroup struct {
+	key      string
+	bindings []Binding
+}
+
+// partition splits the group by the projection onto vars, preserving
+// first-occurrence order.
+func partition(group []Binding, vars []string) []subgroup {
+	index := map[string]int{}
+	var out []subgroup
+	for _, b := range group {
+		k := b.Project(vars)
+		if i, ok := index[k]; ok {
+			out[i].bindings = append(out[i].bindings, b)
+			continue
+		}
+		index[k] = len(out)
+		out = append(out, subgroup{key: k, bindings: []Binding{b}})
+	}
+	return out
+}
+
+// lessByCriteria orders two bindings by the values of the criteria
+// variables (missing values sort first).
+func lessByCriteria(a, b Binding, crit []string) bool {
+	for _, v := range crit {
+		av, aok := a[v]
+		bv, bok := b[v]
+		switch {
+		case !aok && !bok:
+			continue
+		case !aok:
+			return true
+		case !bok:
+			return false
+		}
+		if cmp := tree.Compare(av, bv); cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return false
+}

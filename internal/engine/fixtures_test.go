@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"yat/internal/tree"
+)
+
+// brochure builds one SGML brochure tree following the paper's DTD.
+// Suppliers are (name, address) pairs.
+func brochure(num int64, title string, year int64, desc string, sups ...[2]string) *tree.Node {
+	spplrs := tree.Sym("spplrs")
+	for _, s := range sups {
+		spplrs.Add(tree.Sym("supplier",
+			tree.Sym("name", tree.Str(s[0])),
+			tree.Sym("address", tree.Str(s[1]))))
+	}
+	return tree.Sym("brochure",
+		tree.Sym("number", tree.IntLeaf(num)),
+		tree.Sym("title", tree.Str(title)),
+		tree.Sym("model", tree.IntLeaf(year)),
+		tree.Sym("desc", tree.Str(desc)),
+		spplrs,
+	)
+}
+
+// fig3Store reproduces the input of Figure 3: two brochures for the
+// Golf, sharing the "VW center" supplier.
+func fig3Store() *tree.Store {
+	s := tree.NewStore()
+	s.Put(tree.PlainName("b1"), brochure(1, "Golf", 1995, "Sympa",
+		[2]string{"VW center", "Bd Lenoir, 75005 Paris"}))
+	s.Put(tree.PlainName("b2"), brochure(2, "Golf", 1997, "Sympa",
+		[2]string{"VW2", "Bd Leblanc, 75015 Paris"},
+		[2]string{"VW center", "Bd Lenoir, 75005 Paris"}))
+	return s
+}
+
+// relationalStore builds the §3.2 relational database as trees, the
+// form the relational wrapper produces.
+func relationalStore() *tree.Store {
+	s := tree.NewStore()
+	s.Put(tree.PlainName("Rsuppliers"), tree.Sym("suppliers",
+		tree.Sym("row",
+			tree.Sym("sid", tree.IntLeaf(1)),
+			tree.Sym("name", tree.Str("VW center")),
+			tree.Sym("city", tree.Str("Paris")),
+			tree.Sym("address", tree.Str("Bd Lenoir")),
+			tree.Sym("tel", tree.Str("0144001122"))),
+		tree.Sym("row",
+			tree.Sym("sid", tree.IntLeaf(2)),
+			tree.Sym("name", tree.Str("VW2")),
+			tree.Sym("city", tree.Str("Paris")),
+			tree.Sym("address", tree.Str("Bd Leblanc")),
+			tree.Sym("tel", tree.Str("0144003344"))),
+	))
+	s.Put(tree.PlainName("Rcars"), tree.Sym("cars",
+		tree.Sym("row",
+			tree.Sym("cid", tree.IntLeaf(10)),
+			tree.Sym("broch_num", tree.IntLeaf(1))),
+		tree.Sym("row",
+			tree.Sym("cid", tree.IntLeaf(20)),
+			tree.Sym("broch_num", tree.IntLeaf(2))),
+	))
+	return s
+}
+
+// mergeStores combines entries from several stores into one.
+func mergeStores(stores ...*tree.Store) *tree.Store {
+	out := tree.NewStore()
+	for _, s := range stores {
+		for _, e := range s.Entries() {
+			out.Put(e.Name, e.Tree)
+		}
+	}
+	return out
+}
+
+func psupOID(name string) tree.Name {
+	return tree.SkolemName("Psup", tree.String(name))
+}
+
+func pcarOID(brochureName string) tree.Name {
+	return tree.SkolemName("Pcar", tree.Ref{Name: tree.PlainName(brochureName)})
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"sort"
+
+	"yat/internal/pattern"
+	"yat/internal/yatl"
+)
+
+// hierarchy organizes the rules of a program as the interpreter does
+// in §4.2: rules are grouped by Skolem functor; within a group, rules
+// whose input models are in a subtype (instantiation) relation
+// conflict, and the more specific one is applied first — when it
+// matches an input, the less specific ones are not applied to that
+// input. Explicit `order A before B` statements add user-enforced
+// edges.
+type hierarchy struct {
+	// groups lists the non-exception rules per functor, most specific
+	// first (ties broken by declaration order).
+	groups map[string][]*yatl.Rule
+	// functorOrder preserves first-occurrence order of functors.
+	functorOrder []string
+	// blocks maps a rule name to the names of the less specific rules
+	// it shadows when it matches.
+	blocks map[string][]string
+	// exceptions are the exception rules of the program.
+	exceptions []*yatl.Rule
+}
+
+// buildHierarchy computes the rule hierarchy. model provides the
+// pattern definitions used to resolve pattern-domain variables during
+// specificity comparison (may be nil).
+func buildHierarchy(prog *yatl.Program, model *pattern.Model) *hierarchy {
+	h := &hierarchy{groups: map[string][]*yatl.Rule{}, blocks: map[string][]string{}}
+	declIndex := map[string]int{}
+	for i, r := range prog.Rules {
+		declIndex[r.Name] = i
+		if r.Exception {
+			h.exceptions = append(h.exceptions, r)
+			continue
+		}
+		f := r.Head.Functor
+		if _, ok := h.groups[f]; !ok {
+			h.functorOrder = append(h.functorOrder, f)
+		}
+		h.groups[f] = append(h.groups[f], r)
+	}
+
+	// Explicit user orderings (apply regardless of functor grouping).
+	userBefore := map[[2]string]bool{}
+	for _, o := range prog.Orders {
+		userBefore[[2]string{o.Before, o.After}] = true
+	}
+
+	for _, f := range h.functorOrder {
+		rules := h.groups[f]
+		// strict(a, b): rule a is strictly more specific than b. Two
+		// rules conflict only when they code for the same set of
+		// output patterns: same Skolem functor (the grouping) and the
+		// same argument shape — an identity-keyed rule (argument =
+		// body pattern variable, like Web1–Web6) never shadows a
+		// data-keyed one (argument = data variable, like the composed
+		// HtmlPage(SN)).
+		strict := func(a, b *yatl.Rule) bool {
+			if userBefore[[2]string{a.Name, b.Name}] {
+				return true
+			}
+			if userBefore[[2]string{b.Name, a.Name}] {
+				return false
+			}
+			if argShape(a) != argShape(b) {
+				return false
+			}
+			ab := bodyInstanceOf(a, b, model)
+			ba := bodyInstanceOf(b, a, model)
+			return ab && !ba
+		}
+		for _, a := range rules {
+			for _, b := range rules {
+				if a != b && strict(a, b) {
+					h.blocks[a.Name] = append(h.blocks[a.Name], b.Name)
+				}
+			}
+		}
+		// Order the group: a before b when a is strictly more
+		// specific; ties by declaration order. Topological by
+		// counting dominators is enough because strictness is a
+		// strict partial order.
+		sort.SliceStable(rules, func(i, j int) bool {
+			a, b := rules[i], rules[j]
+			if strict(a, b) {
+				return true
+			}
+			if strict(b, a) {
+				return false
+			}
+			return declIndex[a.Name] < declIndex[b.Name]
+		})
+		h.groups[f] = rules
+	}
+	return h
+}
+
+// argShape classifies a rule's Skolem key structure: per argument,
+// whether it is the input's identity (the body pattern variable), a
+// data variable, or a constant. Rules with different shapes mint
+// disjoint key spaces and do not conflict.
+func argShape(r *yatl.Rule) string {
+	identity := map[string]bool{}
+	for _, bp := range r.Body {
+		identity[bp.Var] = true
+	}
+	shape := make([]byte, len(r.Head.Args))
+	for i, a := range r.Head.Args {
+		switch {
+		case !a.IsVar:
+			shape[i] = 'c'
+		case identity[a.Var]:
+			shape[i] = 'i'
+		default:
+			shape[i] = 'd'
+		}
+	}
+	return string(shape)
+}
+
+// bodyInstanceOf reports whether rule a's input model is an instance
+// of rule b's (a is at least as specific as b). Only rules with the
+// same body-pattern count are comparable; each body tree of a must
+// instantiate the corresponding tree of b under the loose rule-body
+// relation.
+func bodyInstanceOf(a, b *yatl.Rule, model *pattern.Model) bool {
+	if len(a.Body) != len(b.Body) {
+		return false
+	}
+	for i := range a.Body {
+		if !pattern.TreeInstanceOfLoose(model, a.Body[i].Tree, model, b.Body[i].Tree) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hierarchy is the exported view of a program's rule hierarchy, used
+// by the compose package (symbolic evaluation follows the same
+// most-specific-first dispatch) and by the yatviz tool.
+type Hierarchy struct {
+	// Groups lists the non-exception rules per Skolem functor, most
+	// specific first.
+	Groups map[string][]*yatl.Rule
+	// FunctorOrder preserves first-occurrence order of functors.
+	FunctorOrder []string
+	// Blocks maps a rule name to the less specific rules it shadows.
+	Blocks map[string][]string
+	// Exceptions are the program's exception rules.
+	Exceptions []*yatl.Rule
+	// Conflicts lists the (specific, general) rule pairs in conflict.
+	Conflicts [][2]string
+}
+
+// BuildHierarchy computes the §4.2 rule hierarchy of a program. The
+// model resolves pattern-domain variables during the specificity
+// comparison and may be nil.
+func BuildHierarchy(prog *yatl.Program, model *pattern.Model) *Hierarchy {
+	h := buildHierarchy(prog, model)
+	return &Hierarchy{
+		Groups:       h.groups,
+		FunctorOrder: h.functorOrder,
+		Blocks:       h.blocks,
+		Exceptions:   h.exceptions,
+		Conflicts:    conflictPairs(h),
+	}
+}
+
+// conflictPairs returns the pairs (specific, general) of rules in
+// conflict per the paper's definition: same Skolem functor and a
+// subtype relation between input models. It is exposed for testing
+// and for the yatviz tool.
+func conflictPairs(h *hierarchy) [][2]string {
+	var out [][2]string
+	for _, f := range h.functorOrder {
+		for _, r := range h.groups[f] {
+			for _, blocked := range h.blocks[r.Name] {
+				out = append(out, [2]string{r.Name, blocked})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

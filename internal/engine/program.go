@@ -1,0 +1,602 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"yat/internal/pattern"
+	"yat/internal/tree"
+	"yat/internal/yatl"
+)
+
+// Options configures a program run.
+type Options struct {
+	// Registry supplies external functions and predicates; defaults
+	// to NewRegistry().
+	Registry *Registry
+	// Model is an extra model environment for pattern-domain checks,
+	// merged with the models declared by the program.
+	Model *pattern.Model
+	// DisableSafety skips the static cycle check of §3.4.
+	DisableSafety bool
+	// NonDetWarn downgrades the run-time non-determinism alert from
+	// an error to a warning (the paper only mandates an alert).
+	NonDetWarn bool
+	// MaxRounds bounds the activation fixpoint as defence against
+	// non-terminating programs; 0 means the default (10000).
+	MaxRounds int
+	// CheckOutputs turns on the run-time type checker of Figure 6:
+	// after dereferencing, every output must conform to some pattern
+	// of this model; non-conforming outputs are reported as warnings
+	// ("if required by the user, a type checker", §5.1).
+	CheckOutputs *pattern.Model
+}
+
+// Stats reports work done by a run.
+type Stats struct {
+	Activations int // ground inputs processed (source + derived)
+	Bindings    int // variable bindings accumulated across rules
+	Outputs     int // Skolem identities defined
+	Rounds      int // activation fixpoint rounds
+}
+
+// Result is the outcome of a successful run.
+type Result struct {
+	// Outputs holds one tree per Skolem identity defined by the
+	// program, fully dereferenced.
+	Outputs *tree.Store
+	// Warnings collects non-fatal diagnostics: dangling references,
+	// dropped bindings, and (with NonDetWarn) non-determinism alerts.
+	Warnings []string
+	// Unconverted lists the identities of source inputs that no rule
+	// matched — the condition the §3.5 exception rule reports.
+	Unconverted []tree.Value
+	Stats       Stats
+}
+
+// ErrUnconverted is returned when the program contains an exception
+// rule (§3.5) and some source input was not involved in the
+// conversion.
+type ErrUnconverted struct {
+	IDs []tree.Value
+}
+
+func (e *ErrUnconverted) Error() string {
+	parts := make([]string, len(e.IDs))
+	for i, id := range e.IDs {
+		parts[i] = id.Display()
+	}
+	return "engine: exception rule fired: input data not converted: " + strings.Join(parts, ", ")
+}
+
+// Run executes a YATL program over the input store and returns the
+// converted outputs. The run follows the five phases of §3.1, with
+// Skolem functions global to the program so rule order is irrelevant,
+// hierarchy dispatch per §4.2, and end-of-run dereferencing.
+func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if !opts.DisableSafety {
+		if err := CheckSafety(prog); err != nil {
+			return nil, err
+		}
+	}
+	model := pattern.NewModel()
+	for _, m := range prog.Models {
+		model = model.Merge(m.Model)
+	}
+	if opts.Model != nil {
+		model = model.Merge(opts.Model)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 10000
+	}
+
+	r := &run{
+		prog:      prog,
+		reg:       reg,
+		opts:      opts,
+		inputs:    inputs,
+		outputs:   tree.NewStore(),
+		matcher:   &Matcher{Store: inputs, Model: model},
+		hier:      buildHierarchy(prog, model),
+		seenIDs:   map[string]bool{},
+		ruleState: map[string]*ruleState{},
+	}
+	for _, rule := range prog.Rules {
+		if rule.Exception {
+			continue
+		}
+		r.ruleState[rule.Name] = newRuleState(rule)
+	}
+
+	// Seed with the source inputs.
+	for _, e := range inputs.Entries() {
+		r.activate(tree.Ref{Name: e.Name}, e.Tree, true)
+	}
+
+	// Activation fixpoint: match new inputs, evaluate new bindings,
+	// discover the Skolem arguments they mint, activate them.
+	rounds := 0
+	for r.processed < len(r.active) {
+		rounds++
+		if rounds > maxRounds {
+			return nil, fmt.Errorf("engine: activation fixpoint did not converge within %d rounds", maxRounds)
+		}
+		for r.processed < len(r.active) {
+			a := r.active[r.processed]
+			r.processed++
+			r.matchActivation(a)
+		}
+		// Multi-pattern rules join across all activations; recompute
+		// when their caches grew, then evaluate any new bindings.
+		for _, rule := range prog.Rules {
+			if rule.Exception || len(rule.Body) < 2 {
+				continue
+			}
+			r.joinMultiBody(rule)
+		}
+		if err := r.evaluateNewBindings(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Construction phase: group the evaluated bindings of each rule
+	// by head Skolem identity and build the output trees.
+	for _, rule := range prog.Rules {
+		if rule.Exception {
+			continue
+		}
+		if err := r.constructRule(rule); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := expandDerefs(r.outputs); err != nil {
+		return nil, err
+	}
+	for _, name := range danglingRefs(r.outputs, inputs) {
+		r.warn(fmt.Sprintf("dangling reference &%s in output", name))
+	}
+	if opts.CheckOutputs != nil {
+		r.checkOutputs(opts.CheckOutputs)
+	}
+
+	res := &Result{
+		Outputs:     r.outputs,
+		Warnings:    r.warnings,
+		Unconverted: r.unconverted(),
+		Stats: Stats{
+			Activations: len(r.active),
+			Bindings:    r.totalBindings(),
+			Outputs:     r.outputs.Len(),
+			Rounds:      rounds,
+		},
+	}
+	if len(r.hier.exceptions) > 0 && len(res.Unconverted) > 0 {
+		return res, &ErrUnconverted{IDs: res.Unconverted}
+	}
+	return res, nil
+}
+
+// activation is one ground input the rules are applied to: a source
+// tree from the input store, or a subtree/atom demanded by a Skolem
+// argument (the recursion of the Web rules).
+type activation struct {
+	id     tree.Value
+	node   *tree.Node
+	source bool
+	// matched records that some non-exception rule matched this
+	// input (used by the exception check).
+	matched bool
+}
+
+// ruleState accumulates the matching and evaluation state of one rule
+// across the run.
+type ruleState struct {
+	rule *yatl.Rule
+	// perPattern caches, for each body pattern, the bindings obtained
+	// from every activation so far (multi-pattern rules only).
+	perPattern [][]Binding
+	grew       bool
+	// raw are the matched bindings not yet put through lets and
+	// predicates; keyed for deduplication.
+	raw     []Binding
+	rawSeen map[string]bool
+	rawNext int
+	// evaluated are the bindings that survived phases 2 and 3.
+	evaluated []Binding
+	evalNext  int
+	// skolemRefs are the pattern references occurring in the head
+	// tree (computed once).
+	skolemRefs []pattern.PatRef
+}
+
+func newRuleState(rule *yatl.Rule) *ruleState {
+	s := &ruleState{
+		rule:       rule,
+		perPattern: make([][]Binding, len(rule.Body)),
+		rawSeen:    map[string]bool{},
+	}
+	if rule.Head.Tree != nil {
+		s.skolemRefs = rule.Head.Tree.PatternRefs()
+	}
+	return s
+}
+
+type run struct {
+	prog    *yatl.Program
+	reg     *Registry
+	opts    *Options
+	inputs  *tree.Store
+	outputs *tree.Store
+	matcher *Matcher
+	hier    *hierarchy
+
+	active    []*activation
+	processed int
+	seenIDs   map[string]bool
+
+	ruleState map[string]*ruleState
+	warnings  []string
+}
+
+func (r *run) warn(msg string) { r.warnings = append(r.warnings, msg) }
+
+func (r *run) totalBindings() int {
+	total := 0
+	for _, s := range r.ruleState {
+		total += len(s.raw)
+	}
+	return total
+}
+
+// activate registers an input for rule application, once per
+// identity.
+func (r *run) activate(id tree.Value, node *tree.Node, source bool) {
+	key := id.Kind().String() + ":" + displayKey(id)
+	if r.seenIDs[key] {
+		return
+	}
+	r.seenIDs[key] = true
+	r.active = append(r.active, &activation{id: id, node: node, source: source})
+}
+
+// activateValue turns a Skolem-argument value into an activation: a
+// reference resolves through the input store, a wrapped subtree
+// activates directly, an atom becomes a leaf input (derived, so the
+// exception check ignores it).
+func (r *run) activateValue(v tree.Value) {
+	switch val := v.(type) {
+	case tree.Ref:
+		if n, ok := r.inputs.Get(val.Name); ok {
+			r.activate(val, n, false)
+		}
+	case tree.TreeVal:
+		r.activate(val, val.Root, false)
+	default:
+		r.activate(val, tree.New(val), false)
+	}
+}
+
+// matchActivation applies phase 1 to one input: per functor group,
+// rules are tried most-specific-first and a match blocks the less
+// specific conflicting rules for this input (§4.2).
+func (r *run) matchActivation(a *activation) {
+	for _, functor := range r.hier.functorOrder {
+		blocked := map[string]bool{}
+		for _, rule := range r.hier.groups[functor] {
+			if blocked[rule.Name] {
+				continue
+			}
+			s := r.ruleState[rule.Name]
+			if len(rule.Body) == 1 {
+				bs := r.matchBodyPattern(rule.Body[0], a)
+				if len(bs) == 0 {
+					continue
+				}
+				a.matched = true
+				for _, name := range r.hier.blocks[rule.Name] {
+					blocked[name] = true
+				}
+				r.addRaw(s, bs)
+				continue
+			}
+			// Multi-pattern rule: cache the matches of every body
+			// pattern; the join happens per round.
+			for i := range rule.Body {
+				bs := r.matchBodyPattern(rule.Body[i], a)
+				if len(bs) == 0 {
+					continue
+				}
+				a.matched = true
+				s.perPattern[i] = append(s.perPattern[i], bs...)
+				s.grew = true
+			}
+		}
+	}
+}
+
+// matchBodyPattern matches one body pattern against an activation and
+// binds the body's pattern variable to the input identity.
+func (r *run) matchBodyPattern(bp yatl.BodyPattern, a *activation) []Binding {
+	if bp.Domain != "" && r.matcher.Model != nil {
+		if _, defined := r.matcher.Model.Get(bp.Domain); defined {
+			if !r.matcher.conformance().Conforms(a.node, bp.Domain) {
+				return nil
+			}
+		}
+	}
+	bs := r.matcher.MatchTree(bp.Tree, a.node)
+	if len(bs) == 0 {
+		return nil
+	}
+	return bindAll(bs, bp.Var, a.id)
+}
+
+func (r *run) addRaw(s *ruleState, bs []Binding) {
+	for _, b := range bs {
+		k := b.Key()
+		if s.rawSeen[k] {
+			continue
+		}
+		s.rawSeen[k] = true
+		s.raw = append(s.raw, b)
+	}
+}
+
+// joinMultiBody recomputes the cross-pattern join of a multi-pattern
+// rule when any per-pattern cache grew (Rule 3's heterogeneous join).
+func (r *run) joinMultiBody(rule *yatl.Rule) {
+	s := r.ruleState[rule.Name]
+	if !s.grew {
+		return
+	}
+	s.grew = false
+	joined := s.perPattern[0]
+	for i := 1; i < len(s.perPattern); i++ {
+		joined = hashJoin(joined, s.perPattern[i])
+		if len(joined) == 0 {
+			return
+		}
+	}
+	r.addRaw(s, joined)
+}
+
+// evaluateNewBindings runs phases 2 (external functions with type
+// filtering) and 3 (predicates) over the raw bindings accumulated
+// since the last call, then discovers and activates the Skolem
+// arguments minted by the survivors.
+func (r *run) evaluateNewBindings() error {
+	for _, rule := range r.prog.Rules {
+		if rule.Exception {
+			continue
+		}
+		s := r.ruleState[rule.Name]
+		for ; s.rawNext < len(s.raw); s.rawNext++ {
+			b, ok, err := r.evalBinding(rule, s.raw[s.rawNext])
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			s.evaluated = append(s.evaluated, b)
+		}
+		// Discover activations minted by the new evaluated bindings.
+		for ; s.evalNext < len(s.evaluated); s.evalNext++ {
+			b := s.evaluated[s.evalNext]
+			for _, ref := range s.skolemRefs {
+				for _, arg := range ref.Args {
+					if !arg.IsVar {
+						continue
+					}
+					if v, bound := b[arg.Var]; bound {
+						r.activateValue(v)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// evalBinding applies the rule's lets and predicates to one binding.
+func (r *run) evalBinding(rule *yatl.Rule, b Binding) (Binding, bool, error) {
+	if len(rule.Lets) > 0 {
+		b = b.Clone()
+	}
+	for _, l := range rule.Lets {
+		args, ok := resolveOperands(b, l.Args)
+		if !ok {
+			return nil, false, nil
+		}
+		val, typed, err := r.reg.Call(l.Func, args)
+		if err != nil {
+			var raised ErrRaised
+			if errors.As(err, &raised) {
+				return nil, false, err
+			}
+			r.warn(fmt.Sprintf("rule %s: %v (binding dropped)", rule.Name, err))
+			return nil, false, nil
+		}
+		if !typed {
+			return nil, false, nil // the §3.1 type filter
+		}
+		b[l.Var] = val
+	}
+	for _, p := range rule.Preds {
+		ok, err := r.evalPred(rule, p, b)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	return b, true, nil
+}
+
+func (r *run) evalPred(rule *yatl.Rule, p yatl.Pred, b Binding) (bool, error) {
+	if p.IsCall() {
+		args, ok := resolveOperands(b, p.Args)
+		if !ok {
+			return false, nil
+		}
+		res, typed, err := r.reg.CallBool(p.Call, args)
+		if err != nil {
+			var raised ErrRaised
+			if errors.As(err, &raised) {
+				return false, err
+			}
+			r.warn(fmt.Sprintf("rule %s: %v (binding dropped)", rule.Name, err))
+			return false, nil
+		}
+		return res && typed, nil
+	}
+	left, ok := resolveOperand(b, p.Left)
+	if !ok {
+		return false, nil
+	}
+	right, ok := resolveOperand(b, p.Right)
+	if !ok {
+		return false, nil
+	}
+	cmp := tree.Compare(left, right)
+	switch p.Op {
+	case yatl.OpEq:
+		return tree.EqualValues(left, right), nil
+	case yatl.OpNe:
+		return !tree.EqualValues(left, right), nil
+	case yatl.OpLt:
+		return cmp < 0, nil
+	case yatl.OpLe:
+		return cmp <= 0, nil
+	case yatl.OpGt:
+		return cmp > 0, nil
+	case yatl.OpGe:
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("engine: rule %s: unknown comparison", rule.Name)
+}
+
+func resolveOperands(b Binding, ops []yatl.Operand) ([]tree.Value, bool) {
+	out := make([]tree.Value, len(ops))
+	for i, o := range ops {
+		v, ok := resolveOperand(b, o)
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+func resolveOperand(b Binding, o yatl.Operand) (tree.Value, bool) {
+	if !o.IsVar {
+		return o.Const, true
+	}
+	v, ok := b[o.Var]
+	return v, ok
+}
+
+// constructRule is phase 4+5 for one rule: evaluate the head Skolem
+// per binding, group, and construct the output trees.
+func (r *run) constructRule(rule *yatl.Rule) error {
+	s := r.ruleState[rule.Name]
+	if len(s.evaluated) == 0 {
+		return nil
+	}
+	type oidGroup struct {
+		oid      tree.Name
+		bindings []Binding
+	}
+	index := map[string]int{}
+	var groups []oidGroup
+	headRef := pattern.PatRef{Name: rule.Head.Functor, Args: rule.Head.Args}
+	for _, b := range s.evaluated {
+		c := &constructor{rule: rule.Name}
+		oid, err := c.evalSkolem(headRef, []Binding{b})
+		if err != nil {
+			r.warn(fmt.Sprintf("rule %s: %v (binding dropped)", rule.Name, err))
+			continue
+		}
+		key := oid.Key()
+		if i, ok := index[key]; ok {
+			groups[i].bindings = append(groups[i].bindings, b)
+			continue
+		}
+		index[key] = len(groups)
+		groups = append(groups, oidGroup{oid: oid, bindings: []Binding{b}})
+	}
+	for _, g := range groups {
+		c := &constructor{
+			rule: rule.Name,
+			oid:  g.oid,
+			hook: func(oid tree.Name, deref bool) {},
+		}
+		out, err := c.construct(rule.Head.Tree, g.bindings)
+		if err != nil {
+			var nd *NonDetError
+			if errors.As(err, &nd) && r.opts.NonDetWarn {
+				r.warn(nd.Error())
+				continue
+			}
+			return err
+		}
+		if prev, ok := r.outputs.Get(g.oid); ok {
+			if !prev.Equal(out) {
+				ndErr := &NonDetError{Rule: rule.Name, OID: g.oid,
+					Why: "two distinct values for the same Skolem identity"}
+				if r.opts.NonDetWarn {
+					r.warn(ndErr.Error())
+					continue
+				}
+				return ndErr
+			}
+			continue
+		}
+		r.outputs.Put(g.oid, out)
+	}
+	return nil
+}
+
+// checkOutputs is the optional run-time type checker: every output
+// tree must conform to some pattern of the declared output model.
+func (r *run) checkOutputs(model *pattern.Model) {
+	checker := pattern.NewConformanceChecker(r.outputs, model)
+	for _, e := range r.outputs.Entries() {
+		ok := false
+		for _, name := range model.Names() {
+			if checker.Conforms(e.Tree, name) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			r.warn(fmt.Sprintf("output %s conforms to no pattern of the declared output model", e.Name))
+		}
+	}
+}
+
+// unconverted lists source inputs no rule matched.
+func (r *run) unconverted() []tree.Value {
+	var out []tree.Value
+	for _, a := range r.active {
+		if a.source && !a.matched {
+			out = append(out, a.id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return displayKey(out[i]) < displayKey(out[j])
+	})
+	return out
+}

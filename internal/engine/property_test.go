@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"yat/internal/tree"
+	"yat/internal/workload"
+	"yat/internal/yatl"
+)
+
+// Property (§3.1): "Rule 1 and Rule 2 can be applied in any order" —
+// more generally, Skolem globality makes rule order irrelevant. Run
+// each fixture program under several random rule permutations and
+// demand identical outputs.
+func TestPropertyRuleOrderIrrelevant(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	cases := []struct {
+		name   string
+		src    string
+		inputs *tree.Store
+	}{
+		{"sgml2odmg", yatl.SGMLToODMGSource, workload.BrochureStore(6, 2, 4, 3)},
+		{"sgml2odmgPrime", yatl.SGMLToODMGPrimeSource, workload.BrochureStore(6, 2, 4, 3)},
+		{"web", yatl.WebProgramSource, workload.ODMGStore(4, 3, 2, 3)},
+	}
+	for _, c := range cases {
+		base := yatl.MustParse(c.src)
+		ref, err := Run(base, c.inputs, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		want := tree.FormatStore(sorted(ref.Outputs))
+		for trial := 0; trial < 5; trial++ {
+			perm := base.Clone()
+			r.Shuffle(len(perm.Rules), func(i, j int) {
+				perm.Rules[i], perm.Rules[j] = perm.Rules[j], perm.Rules[i]
+			})
+			res, err := Run(perm, c.inputs, nil)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", c.name, trial, err)
+			}
+			if got := tree.FormatStore(sorted(res.Outputs)); got != want {
+				t.Fatalf("%s trial %d: outputs changed under rule permutation", c.name, trial)
+			}
+		}
+	}
+}
+
+func sorted(s *tree.Store) *tree.Store {
+	out := tree.NewStore()
+	for _, e := range s.SortedEntries() {
+		out.Put(e.Name, e.Tree)
+	}
+	return out
+}
+
+// Property: input store entry order does not affect the converted
+// values (only their discovery order).
+func TestPropertyInputOrderIrrelevant(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	prog := yatl.MustParse(yatl.SGMLToODMGSource)
+	base := workload.BrochureStore(8, 2, 5, 9)
+	ref, err := Run(prog, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tree.FormatStore(sorted(ref.Outputs))
+	entries := base.Entries()
+	for trial := 0; trial < 5; trial++ {
+		shuffled := tree.NewStore()
+		order := r.Perm(len(entries))
+		for _, i := range order {
+			shuffled.Put(entries[i].Name, entries[i].Tree)
+		}
+		res, err := Run(prog, shuffled, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.FormatStore(sorted(res.Outputs)); got != want {
+			t.Fatalf("trial %d: outputs changed under input permutation", trial)
+		}
+	}
+}
+
+// Property: running a program twice over the same inputs gives
+// identical results, and running it over its own outputs never panics
+// (conversions are safe on arbitrary data — "no error will occur",
+// §3.5).
+func TestPropertyIdempotentAndTotal(t *testing.T) {
+	progs := []string{yatl.SGMLToODMGSource, yatl.WebProgramSource}
+	inputs := workload.BrochureStore(5, 2, 4, 31)
+	for _, src := range progs {
+		prog := yatl.MustParse(src)
+		r1, err := Run(prog, inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(prog, inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.FormatStore(r1.Outputs) != tree.FormatStore(r2.Outputs) {
+			t.Fatal("second run differs")
+		}
+		// Feed the outputs back in: no panic, no error (matching may
+		// or may not find anything).
+		again := tree.NewStore()
+		for _, e := range r1.Outputs.Entries() {
+			again.Put(e.Name, e.Tree)
+		}
+		if _, err := Run(prog, again, nil); err != nil {
+			t.Fatalf("running over own outputs failed: %v", err)
+		}
+	}
+}
+
+// Property: converted supplier objects agree with the source data —
+// every Psup output's name equals its Skolem key and its city/zip
+// derive from some source address.
+func TestPropertyOutputsTraceableToSources(t *testing.T) {
+	pool := workload.Suppliers(6, 77)
+	store := tree.NewStore()
+	for i, b := range workload.Brochures(10, 3, pool, 77) {
+		store.Put(tree.PlainName(string(rune('a'+i))), b.Tree())
+	}
+	prog := yatl.MustParse(yatl.SGMLToODMGSource)
+	res, err := Run(prog, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]workload.Supplier{}
+	for _, s := range pool {
+		byName[s.Name] = s
+	}
+	for _, e := range res.Outputs.Entries() {
+		if e.Name.Functor != "Psup" {
+			continue
+		}
+		key := e.Name.Args[0].(tree.String)
+		src, known := byName[string(key)]
+		if !known {
+			t.Fatalf("supplier %s not in the source pool", key)
+		}
+		sup := e.Tree.Children[0]
+		if !sup.Children[0].Children[0].Label.Equal(key) {
+			t.Errorf("name attribute does not match Skolem key: %s", e.Tree)
+		}
+		if !sup.Children[1].Children[0].Label.Equal(tree.String(src.City)) {
+			t.Errorf("city mismatch for %s: %s", key, e.Tree)
+		}
+		if !sup.Children[2].Children[0].Label.Equal(tree.Int(src.Zip)) {
+			t.Errorf("zip mismatch for %s: %s", key, e.Tree)
+		}
+	}
+}
+
+// Property: the matcher is stable — matching the same pattern against
+// the same tree repeatedly yields the same bindings, in the same
+// order.
+func TestPropertyMatcherDeterministic(t *testing.T) {
+	rule := yatl.MustParseRule("rule R {\n  head F(X) = o\n  from X = " + yatl.BrochureBody + "\n}")
+	m := &Matcher{}
+	store := workload.BrochureStore(1, 5, 5, 13)
+	input, _ := store.Get(tree.PlainName("b1"))
+	first := m.MatchTree(rule.Body[0].Tree, input)
+	for i := 0; i < 20; i++ {
+		again := m.MatchTree(rule.Body[0].Tree, input)
+		if len(again) != len(first) {
+			t.Fatal("binding count changed")
+		}
+		for j := range again {
+			if again[j].Key() != first[j].Key() {
+				t.Fatalf("binding %d changed between runs", j)
+			}
+		}
+	}
+}

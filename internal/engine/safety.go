@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"yat/internal/pattern"
+	"yat/internal/yatl"
+)
+
+// CheckSafety implements the static analysis of §3.4: it builds the
+// dependency graph of dereferenced Skolem functors and rejects the
+// program when the graph is cyclic, unless every rule defining a
+// functor on a cycle is *safe-recursive*:
+//
+//   - the rule's head functor has a single argument which is the
+//     rule's (single) body pattern variable, and
+//   - every dereferenced recursive invocation passes a variable bound
+//     to a proper subtree of the input.
+//
+// This is decidable syntactically and guarantees the absence of
+// cycles at run time (the recursion strictly descends the finite
+// input tree).
+func CheckSafety(prog *yatl.Program) error {
+	deps := derefDependencies(prog)
+	cyclic := functorsOnCycles(deps)
+	if len(cyclic) == 0 {
+		return nil
+	}
+	var errs []string
+	for _, r := range prog.Rules {
+		if r.Exception {
+			continue
+		}
+		if !cyclic[r.Head.Functor] {
+			continue
+		}
+		if why := safeRecursive(r, cyclic); why != "" {
+			errs = append(errs, fmt.Sprintf("rule %s (functor %s): %s", r.Name, r.Head.Functor, why))
+		}
+	}
+	if len(errs) > 0 {
+		names := make([]string, 0, len(cyclic))
+		for f := range cyclic {
+			names = append(names, f)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("engine: potentially cyclic program (dereferenced Skolem cycle through %s) and not safe-recursive:\n  %s",
+			strings.Join(names, " -> "), strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// derefDependencies returns, per head functor, the set of functors it
+// dereferences in its head trees. References (&) do not create
+// dependencies: they never force inclusion of one value in another.
+func derefDependencies(prog *yatl.Program) map[string]map[string]bool {
+	deps := map[string]map[string]bool{}
+	for _, r := range prog.Rules {
+		if r.Exception || r.Head.Tree == nil {
+			continue
+		}
+		from := r.Head.Functor
+		if deps[from] == nil {
+			deps[from] = map[string]bool{}
+		}
+		for _, ref := range r.Head.Tree.PatternRefs() {
+			if !ref.Ref {
+				deps[from][ref.Name] = true
+			}
+		}
+	}
+	return deps
+}
+
+// functorsOnCycles returns the functors that participate in a cycle
+// of the dependency graph (Tarjan-free: iterative color DFS keeping
+// the stack, then marking every node of each back-edge loop —
+// conservative: any node in a non-trivial strongly connected
+// component, or with a self loop).
+func functorsOnCycles(deps map[string]map[string]bool) map[string]bool {
+	// Tarjan's strongly connected components.
+	nodes := make([]string, 0, len(deps))
+	for n := range deps {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	result := map[string]bool{}
+
+	var strongConnect func(v string)
+	strongConnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range deps[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				if _, defined := deps[w]; defined {
+					strongConnect(w)
+					if low[w] < low[v] {
+						low[v] = low[w]
+					}
+				}
+				continue
+			}
+			if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				for _, w := range comp {
+					result[w] = true
+				}
+			} else if deps[comp[0]][comp[0]] {
+				result[comp[0]] = true // self loop
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongConnect(n)
+		}
+	}
+	return result
+}
+
+// safeRecursive checks the syntactic safe-recursion condition for one
+// rule whose functor lies on a cycle. It returns an empty string when
+// safe, or the reason otherwise.
+func safeRecursive(r *yatl.Rule, cyclic map[string]bool) string {
+	if len(r.Body) != 1 {
+		return "safe recursion requires a single body pattern"
+	}
+	if len(r.Head.Args) != 1 || !r.Head.Args[0].IsVar || r.Head.Args[0].Var != r.Body[0].Var {
+		return "the Skolem functor's sole parameter must be the body pattern variable"
+	}
+	// Collect the variables bound strictly below the body root (these
+	// are bound to proper subtrees of the input).
+	proper := map[string]bool{}
+	collectProperVars(r.Body[0].Tree, 0, proper)
+	for _, ref := range r.Head.Tree.PatternRefs() {
+		if ref.Ref || !cyclic[ref.Name] {
+			continue
+		}
+		if len(ref.Args) != 1 || !ref.Args[0].IsVar {
+			return fmt.Sprintf("recursive invocation %s must take a single variable argument", ref.Display())
+		}
+		v := ref.Args[0].Var
+		if !proper[v] {
+			return fmt.Sprintf("recursive invocation %s is not applied to a proper subtree of the input", ref.Display())
+		}
+	}
+	return ""
+}
+
+// collectProperVars records label variables that occur at depth ≥ 1
+// in the body tree (they bind proper subtrees or their labels).
+func collectProperVars(t *pattern.PTree, depth int, out map[string]bool) {
+	if t == nil {
+		return
+	}
+	if v, ok := t.Label.(pattern.Var); ok && depth > 0 {
+		out[v.Name] = true
+	}
+	for _, e := range t.Edges {
+		collectProperVars(e.To, depth+1, out)
+	}
+}

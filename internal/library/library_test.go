@@ -1,0 +1,116 @@
+package library
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"yat/internal/engine"
+	"yat/internal/pattern"
+	"yat/internal/workload"
+)
+
+func TestBuiltinLibrary(t *testing.T) {
+	l := Builtin()
+	wantPrograms := []string{"odmg2html", "sgml2odmg", "sgml2odmgPrime", "sgml2odmgTyped"}
+	got := l.Programs()
+	if len(got) != len(wantPrograms) {
+		t.Fatalf("Programs = %v", got)
+	}
+	for i, w := range wantPrograms {
+		if got[i] != w {
+			t.Errorf("Programs[%d] = %q, want %q", i, got[i], w)
+		}
+	}
+	if len(l.Models()) != 5 {
+		t.Errorf("Models = %v", l.Models())
+	}
+	// Programs come out cloned: customizing one copy leaves the
+	// library intact.
+	p1, _ := l.Program("sgml2odmg")
+	p1.Rules[0].Name = "mutated"
+	p2, _ := l.Program("sgml2odmg")
+	if p2.Rules[0].Name == "mutated" {
+		t.Error("library program not isolated from customization")
+	}
+	if _, ok := l.Program("ghost"); ok {
+		t.Error("Program(ghost) found")
+	}
+	m, ok := l.Model("ODMG")
+	if !ok {
+		t.Fatal("Model(ODMG) missing")
+	}
+	if err := pattern.InstanceOf(m, pattern.YatModel()); err != nil {
+		t.Errorf("library ODMG model broken: %v", err)
+	}
+}
+
+func TestLibraryProgramsRun(t *testing.T) {
+	l := Builtin()
+	prog, _ := l.Program("sgml2odmg")
+	store := workload.BrochureStore(3, 2, 4, 5)
+	res, err := engine.Run(prog, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs.Len() == 0 {
+		t.Error("library program produced nothing")
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	l := Builtin()
+	if err := l.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Programs()) != len(l.Programs()) {
+		t.Errorf("programs after round trip: %v", back.Programs())
+	}
+	if len(back.Models()) != len(l.Models()) {
+		t.Errorf("models after round trip: %v", back.Models())
+	}
+	// A reloaded program is still runnable.
+	prog, ok := back.Program("odmg2html")
+	if !ok {
+		t.Fatal("odmg2html lost")
+	}
+	store := workload.ODMGStore(1, 1, 1, 3)
+	if _, err := engine.Run(prog, store, nil); err != nil {
+		t.Fatalf("reloaded program failed: %v", err)
+	}
+	// A reloaded model equals the original up to instantiation both
+	// ways.
+	m1, _ := l.Model("CarSchema")
+	m2, _ := back.Model("CarSchema")
+	if err := pattern.InstanceOf(m1, m2); err != nil {
+		t.Errorf("reloaded model differs: %v", err)
+	}
+	if err := pattern.InstanceOf(m2, m1); err != nil {
+		t.Errorf("reloaded model differs: %v", err)
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	if _, err := LoadProgram(filepath.Join(t.TempDir(), "missing.yatl")); err == nil {
+		t.Error("missing file should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.yatl")
+	if err := os.WriteFile(bad, []byte("rule { broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProgram(bad); err == nil {
+		t.Error("unparseable program should fail")
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("LoadDir over broken file should fail")
+	}
+	if _, err := LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("LoadDir of missing directory should fail")
+	}
+}

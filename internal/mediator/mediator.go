@@ -1,0 +1,140 @@
+// Package mediator implements the mediator-side querying the paper
+// leaves as future work (§1: "a complementary goal is to be able to
+// query it without fully materializing it"; §5: YAT "can serve as the
+// basis for a mediator/wrapper system"). A Mediator wraps a
+// conversion program and its sources and answers pattern queries over
+// the *virtual* target representation.
+//
+// Materialization is lazy and memoized: the conversion runs once, on
+// the first query, and its outputs are shared by all later queries.
+// When the query only concerns some Skolem functors, Ask restricts
+// matching to those outputs. Composition (§4.3) slots in naturally: a
+// mediator over `Compose(prg1, prg2)` answers queries over M3 against
+// M1 sources with no intermediate M2 store at all.
+package mediator
+
+import (
+	"fmt"
+	"sort"
+
+	"yat/internal/engine"
+	"yat/internal/pattern"
+	"yat/internal/tree"
+	"yat/internal/yatl"
+)
+
+// Mediator answers queries over the virtual target of a conversion.
+type Mediator struct {
+	prog   *yatl.Program
+	inputs *tree.Store
+	opts   *engine.Options
+
+	result *engine.Result
+	err    error
+}
+
+// New returns a mediator over the program and sources. Nothing runs
+// until the first query.
+func New(prog *yatl.Program, inputs *tree.Store, opts *engine.Options) *Mediator {
+	return &Mediator{prog: prog, inputs: inputs, opts: opts}
+}
+
+// materialize runs the conversion once.
+func (m *Mediator) materialize() (*engine.Result, error) {
+	if m.result == nil && m.err == nil {
+		m.result, m.err = engine.Run(m.prog, m.inputs, m.opts)
+	}
+	return m.result, m.err
+}
+
+// Answer is one query result: the identity of the target object and
+// the variable bindings of the match.
+type Answer struct {
+	Name    tree.Name
+	Binding engine.Binding
+}
+
+// Ask matches a pattern (in YATL concrete syntax) against the virtual
+// target and returns one answer per (object, binding). Optional
+// functors restrict the search to objects minted by those Skolem
+// functors.
+func (m *Mediator) Ask(patternSrc string, functors ...string) ([]Answer, error) {
+	pt, err := yatl.ParsePattern(patternSrc)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: %w", err)
+	}
+	return m.AskPattern(pt, functors...)
+}
+
+// AskPattern is Ask over a parsed pattern.
+func (m *Mediator) AskPattern(pt *pattern.PTree, functors ...string) ([]Answer, error) {
+	res, err := m.materialize()
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, f := range functors {
+		want[f] = true
+	}
+	matcher := &engine.Matcher{Store: res.Outputs}
+	var out []Answer
+	for _, e := range res.Outputs.Entries() {
+		if len(want) > 0 && !want[e.Name.Functor] {
+			continue
+		}
+		for _, b := range matcher.MatchTree(pt, e.Tree) {
+			out = append(out, Answer{Name: e.Name, Binding: b})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if k := out[i].Name.Key(); k != out[j].Name.Key() {
+			return k < out[j].Name.Key()
+		}
+		return out[i].Binding.Key() < out[j].Binding.Key()
+	})
+	return out, nil
+}
+
+// Get resolves one virtual object by Skolem identity.
+func (m *Mediator) Get(name tree.Name) (*tree.Node, bool, error) {
+	res, err := m.materialize()
+	if err != nil {
+		return nil, false, err
+	}
+	n, ok := res.Outputs.Get(name)
+	return n, ok, nil
+}
+
+// Functors lists the Skolem functors present in the target, sorted.
+func (m *Mediator) Functors() ([]string, error) {
+	res, err := m.materialize()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range res.Outputs.Entries() {
+		if !seen[e.Name.Functor] {
+			seen[e.Name.Functor] = true
+			out = append(out, e.Name.Functor)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats exposes the underlying run's statistics (zero until the first
+// query forces materialization).
+func (m *Mediator) Stats() engine.Stats {
+	if m.result == nil {
+		return engine.Stats{}
+	}
+	return m.result.Stats
+}
+
+// Invalidate drops the materialized target, forcing the next query to
+// reconvert (sources changed).
+func (m *Mediator) Invalidate() {
+	m.result = nil
+	m.err = nil
+}

@@ -1,0 +1,160 @@
+package mediator
+
+import (
+	"testing"
+
+	"yat/internal/compose"
+	"yat/internal/tree"
+	"yat/internal/workload"
+	"yat/internal/yatl"
+)
+
+func newCarMediator(t *testing.T, n int) *Mediator {
+	t.Helper()
+	prog := yatl.MustParse(yatl.SGMLToODMGSource)
+	inputs := workload.BrochureStore(n, 2, 5, 42)
+	return New(prog, inputs, nil)
+}
+
+func TestAskCarsByName(t *testing.T) {
+	m := newCarMediator(t, 10)
+	answers, err := m.Ask(`class -> car < -> name -> N, -> desc -> D,
+	                                  -> suppliers -> set -*> S >`, "Pcar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no answers")
+	}
+	for _, a := range answers {
+		if a.Name.Functor != "Pcar" {
+			t.Errorf("answer from wrong functor: %s", a.Name)
+		}
+		if _, ok := a.Binding["N"]; !ok {
+			t.Errorf("N unbound in %v", a.Binding)
+		}
+		if _, ok := a.Binding["S"].(tree.Ref); !ok {
+			t.Errorf("S should bind a supplier reference, got %v", a.Binding["S"])
+		}
+	}
+}
+
+func TestAskRestrictsFunctors(t *testing.T) {
+	m := newCarMediator(t, 10)
+	// A bare variable matches everything; the functor filter keeps
+	// only supplier objects.
+	all, err := m.Ask(`X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sups, err := m.Ask(`X`, "Psup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sups) == 0 || len(sups) >= len(all) {
+		t.Errorf("functor filter wrong: %d of %d", len(sups), len(all))
+	}
+}
+
+func TestMaterializeOnce(t *testing.T) {
+	m := newCarMediator(t, 10)
+	if m.Stats().Outputs != 0 {
+		t.Error("mediator materialized eagerly")
+	}
+	if _, err := m.Ask(`X`); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Stats()
+	if first.Outputs == 0 {
+		t.Fatal("no outputs after first query")
+	}
+	// Further queries reuse the run.
+	if _, err := m.Ask(`class -> car -*> Y`); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats() != first {
+		t.Error("second query re-ran the conversion")
+	}
+	m.Invalidate()
+	if m.Stats().Outputs != 0 {
+		t.Error("Invalidate did not drop the cache")
+	}
+}
+
+func TestGet(t *testing.T) {
+	m := newCarMediator(t, 5)
+	n, ok, err := m.Get(tree.SkolemName("Pcar", tree.Ref{Name: tree.PlainName("b1")}))
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if !n.Label.Equal(tree.Symbol("class")) {
+		t.Errorf("object = %s", n)
+	}
+	if _, ok, _ := m.Get(tree.PlainName("ghost")); ok {
+		t.Error("Get(ghost) found")
+	}
+}
+
+func TestFunctors(t *testing.T) {
+	m := newCarMediator(t, 5)
+	fs, err := m.Functors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 || fs[0] != "Pcar" || fs[1] != "Psup" {
+		t.Errorf("functors = %v", fs)
+	}
+}
+
+func TestMediatorOverComposedProgram(t *testing.T) {
+	// The §4.3 payoff: a mediator over the composed SGML→HTML program
+	// answers HTML queries directly against brochures — the ODMG
+	// intermediate never exists.
+	first := yatl.MustParse(yatl.AnnotatedSGMLToODMGSource)
+	second := yatl.MustParse(yatl.WebProgramSource)
+	composed, err := compose.Compose(first, second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(composed, workload.BrochureStore(5, 2, 4, 9), nil)
+	answers, err := m.Ask(`html < -> head -> title -> T, -> body -*> B >`, "HtmlPage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no pages found through the composed mediator")
+	}
+	sawCar, sawSupplier := false, false
+	for _, a := range answers {
+		switch a.Binding["T"].Display() {
+		case "car":
+			sawCar = true
+		case "supplier":
+			sawSupplier = true
+		}
+	}
+	if !sawCar || !sawSupplier {
+		t.Errorf("expected both car and supplier pages (car %v, supplier %v)", sawCar, sawSupplier)
+	}
+}
+
+func TestAskParseError(t *testing.T) {
+	m := newCarMediator(t, 2)
+	if _, err := m.Ask(`class -> <`); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestAnswersDeterministic(t *testing.T) {
+	m := newCarMediator(t, 10)
+	a1, _ := m.Ask(`class -> car -*> X`)
+	a2, _ := m.Ask(`class -> car -*> X`)
+	if len(a1) != len(a2) {
+		t.Fatal("answer counts differ")
+	}
+	for i := range a1 {
+		if !a1[i].Name.Equal(a2[i].Name) || a1[i].Binding.Key() != a2[i].Binding.Key() {
+			t.Fatalf("answer %d differs between runs", i)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+// Package odmg implements the ODMG object database substrate of the
+// translation scenario (Figure 1): the integration target where car
+// and supplier objects are materialized. It provides class schemas
+// (attributes typed over atoms, set/bag/list/array collections,
+// tuples and object references), an in-memory object store with OIDs,
+// and schema validation — the services the ODMG import/export
+// wrappers build on.
+package odmg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TypeKind discriminates ODMG types.
+type TypeKind uint8
+
+// The ODMG type kinds.
+const (
+	TString TypeKind = iota
+	TInt
+	TFloat
+	TBool
+	TSet
+	TBag
+	TList
+	TArray
+	TTuple
+	TRef
+)
+
+// String returns the ODL-ish spelling of the kind.
+func (k TypeKind) String() string {
+	switch k {
+	case TString:
+		return "string"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "boolean"
+	case TSet:
+		return "set"
+	case TBag:
+		return "bag"
+	case TList:
+		return "list"
+	case TArray:
+		return "array"
+	case TTuple:
+		return "tuple"
+	case TRef:
+		return "ref"
+	default:
+		return fmt.Sprintf("TypeKind(%d)", uint8(k))
+	}
+}
+
+// Type is an ODMG type expression.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type   // TSet, TBag, TList, TArray
+	Fields []Field // TTuple
+	Class  string  // TRef
+}
+
+// Field is one named component of a tuple type or class.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Atomic type constructors.
+var (
+	StringT = &Type{Kind: TString}
+	IntT    = &Type{Kind: TInt}
+	FloatT  = &Type{Kind: TFloat}
+	BoolT   = &Type{Kind: TBool}
+)
+
+// SetOf returns a set type.
+func SetOf(elem *Type) *Type { return &Type{Kind: TSet, Elem: elem} }
+
+// BagOf returns a bag type.
+func BagOf(elem *Type) *Type { return &Type{Kind: TBag, Elem: elem} }
+
+// ListOf returns a list type.
+func ListOf(elem *Type) *Type { return &Type{Kind: TList, Elem: elem} }
+
+// ArrayOf returns an array type.
+func ArrayOf(elem *Type) *Type { return &Type{Kind: TArray, Elem: elem} }
+
+// TupleOf returns a tuple type.
+func TupleOf(fields ...Field) *Type { return &Type{Kind: TTuple, Fields: fields} }
+
+// RefTo returns an object reference type.
+func RefTo(class string) *Type { return &Type{Kind: TRef, Class: class} }
+
+// String renders the type.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TSet, TBag, TList, TArray:
+		return t.Kind.String() + "<" + t.Elem.String() + ">"
+	case TTuple:
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.Name + ": " + f.Type.String()
+		}
+		return "tuple<" + strings.Join(parts, ", ") + ">"
+	case TRef:
+		return "ref<" + t.Class + ">"
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Class is an ODMG class: a name and typed attributes.
+type Class struct {
+	Name  string
+	Attrs []Field
+}
+
+// Attr returns an attribute by name.
+func (c *Class) Attr(name string) (*Type, bool) {
+	for _, f := range c.Attrs {
+		if f.Name == name {
+			return f.Type, true
+		}
+	}
+	return nil, false
+}
+
+// String renders the class in ODL-ish syntax.
+func (c *Class) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "class %s {\n", c.Name)
+	for _, f := range c.Attrs {
+		fmt.Fprintf(&b, "  attribute %s %s;\n", f.Type.String(), f.Name)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Schema is a set of classes in declaration order.
+type Schema struct {
+	order   []string
+	classes map[string]*Class
+}
+
+// NewSchema returns a schema over the classes.
+func NewSchema(classes ...*Class) *Schema {
+	s := &Schema{classes: map[string]*Class{}}
+	for _, c := range classes {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add inserts or replaces a class.
+func (s *Schema) Add(c *Class) {
+	if _, ok := s.classes[c.Name]; !ok {
+		s.order = append(s.order, c.Name)
+	}
+	s.classes[c.Name] = c
+}
+
+// Class returns a class by name.
+func (s *Schema) Class(name string) (*Class, bool) {
+	c, ok := s.classes[name]
+	return c, ok
+}
+
+// Classes returns class names in order.
+func (s *Schema) Classes() []string { return append([]string(nil), s.order...) }
+
+// Validate checks that every reference type targets a declared class.
+func (s *Schema) Validate() error {
+	for _, n := range s.order {
+		for _, f := range s.classes[n].Attrs {
+			if err := s.validateType(f.Type); err != nil {
+				return fmt.Errorf("odmg: class %s attribute %s: %w", n, f.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schema) validateType(t *Type) error {
+	switch t.Kind {
+	case TSet, TBag, TList, TArray:
+		return s.validateType(t.Elem)
+	case TTuple:
+		for _, f := range t.Fields {
+			if err := s.validateType(f.Type); err != nil {
+				return err
+			}
+		}
+	case TRef:
+		if _, ok := s.classes[t.Class]; !ok {
+			return fmt.Errorf("reference to undeclared class %s", t.Class)
+		}
+	}
+	return nil
+}
+
+// String renders the schema.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, n := range s.order {
+		b.WriteString(s.classes[n].String())
+	}
+	return b.String()
+}
+
+// Value is an ODMG value.
+type Value struct {
+	Kind   TypeKind
+	Str    string
+	Int    int64
+	Float  float64
+	Bool   bool
+	Elems  []*Value // collections
+	Fields []Field  // tuple field types are not stored on values
+	Named  []NamedValue
+	Ref    string // target OID
+}
+
+// NamedValue is one tuple component.
+type NamedValue struct {
+	Name  string
+	Value *Value
+}
+
+// Value constructors.
+func Str(s string) *Value     { return &Value{Kind: TString, Str: s} }
+func Int(i int64) *Value      { return &Value{Kind: TInt, Int: i} }
+func Float(f float64) *Value  { return &Value{Kind: TFloat, Float: f} }
+func Bool(b bool) *Value      { return &Value{Kind: TBool, Bool: b} }
+func Ref(oid string) *Value   { return &Value{Kind: TRef, Ref: oid} }
+func Set(es ...*Value) *Value { return &Value{Kind: TSet, Elems: es} }
+func Bag(es ...*Value) *Value { return &Value{Kind: TBag, Elems: es} }
+func List(es ...*Value) *Value {
+	return &Value{Kind: TList, Elems: es}
+}
+func Array(es ...*Value) *Value {
+	return &Value{Kind: TArray, Elems: es}
+}
+
+// Tuple builds a tuple value from name/value pairs.
+func Tuple(named ...NamedValue) *Value { return &Value{Kind: TTuple, Named: named} }
+
+// String renders the value.
+func (v *Value) String() string {
+	switch v.Kind {
+	case TString:
+		return fmt.Sprintf("%q", v.Str)
+	case TInt:
+		return fmt.Sprintf("%d", v.Int)
+	case TFloat:
+		return fmt.Sprintf("%g", v.Float)
+	case TBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case TRef:
+		return "&" + v.Ref
+	case TTuple:
+		parts := make([]string, len(v.Named))
+		for i, nv := range v.Named {
+			parts[i] = nv.Name + ": " + nv.Value.String()
+		}
+		return "tuple(" + strings.Join(parts, ", ") + ")"
+	default:
+		parts := make([]string, len(v.Elems))
+		for i, e := range v.Elems {
+			parts[i] = e.String()
+		}
+		return v.Kind.String() + "(" + strings.Join(parts, ", ") + ")"
+	}
+}
+
+// Object is one stored object.
+type Object struct {
+	OID   string
+	Class string
+	Attrs []NamedValue
+}
+
+// Attr returns an attribute value by name.
+func (o *Object) Attr(name string) (*Value, bool) {
+	for _, nv := range o.Attrs {
+		if nv.Name == name {
+			return nv.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Database is an in-memory object store over a schema.
+type Database struct {
+	Schema  *Schema
+	order   []string
+	objects map[string]*Object
+	nextOID int
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase(s *Schema) *Database {
+	return &Database{Schema: s, objects: map[string]*Object{}}
+}
+
+// NewOID mints a fresh object identifier.
+func (db *Database) NewOID(class string) string {
+	db.nextOID++
+	return fmt.Sprintf("%s_%d", class, db.nextOID)
+}
+
+// Put stores an object (replacing any existing binding of its OID).
+func (db *Database) Put(o *Object) {
+	if _, ok := db.objects[o.OID]; !ok {
+		db.order = append(db.order, o.OID)
+	}
+	db.objects[o.OID] = o
+}
+
+// Get returns an object by OID.
+func (db *Database) Get(oid string) (*Object, bool) {
+	o, ok := db.objects[oid]
+	return o, ok
+}
+
+// Len reports the number of objects.
+func (db *Database) Len() int { return len(db.order) }
+
+// Objects returns the objects in insertion order.
+func (db *Database) Objects() []*Object {
+	out := make([]*Object, len(db.order))
+	for i, oid := range db.order {
+		out[i] = db.objects[oid]
+	}
+	return out
+}
+
+// OfClass returns the objects of one class, in insertion order.
+func (db *Database) OfClass(class string) []*Object {
+	var out []*Object
+	for _, oid := range db.order {
+		if db.objects[oid].Class == class {
+			out = append(out, db.objects[oid])
+		}
+	}
+	return out
+}
+
+// Extent returns the sorted OIDs of a class (the ODMG extent).
+func (db *Database) Extent(class string) []string {
+	var out []string
+	for _, o := range db.OfClass(class) {
+		out = append(out, o.OID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Check validates every object against its class: declared
+// attributes, value/type conformance, resolvable references of the
+// right class.
+func (db *Database) Check() error {
+	for _, oid := range db.order {
+		o := db.objects[oid]
+		class, ok := db.Schema.Class(o.Class)
+		if !ok {
+			return fmt.Errorf("odmg: object %s has undeclared class %s", oid, o.Class)
+		}
+		if len(o.Attrs) != len(class.Attrs) {
+			return fmt.Errorf("odmg: object %s has %d attributes, class %s declares %d",
+				oid, len(o.Attrs), o.Class, len(class.Attrs))
+		}
+		for i, nv := range o.Attrs {
+			decl := class.Attrs[i]
+			if nv.Name != decl.Name {
+				return fmt.Errorf("odmg: object %s attribute %d is %s, class declares %s",
+					oid, i, nv.Name, decl.Name)
+			}
+			if err := db.checkValue(nv.Value, decl.Type); err != nil {
+				return fmt.Errorf("odmg: object %s attribute %s: %w", oid, nv.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (db *Database) checkValue(v *Value, t *Type) error {
+	if v.Kind != t.Kind {
+		return fmt.Errorf("value kind %s, declared %s", v.Kind, t.Kind)
+	}
+	switch t.Kind {
+	case TSet, TBag, TList, TArray:
+		for _, e := range v.Elems {
+			if err := db.checkValue(e, t.Elem); err != nil {
+				return err
+			}
+		}
+	case TTuple:
+		if len(v.Named) != len(t.Fields) {
+			return fmt.Errorf("tuple arity %d, declared %d", len(v.Named), len(t.Fields))
+		}
+		for i, nv := range v.Named {
+			if nv.Name != t.Fields[i].Name {
+				return fmt.Errorf("tuple field %s, declared %s", nv.Name, t.Fields[i].Name)
+			}
+			if err := db.checkValue(nv.Value, t.Fields[i].Type); err != nil {
+				return err
+			}
+		}
+	case TRef:
+		target, ok := db.Get(v.Ref)
+		if !ok {
+			return fmt.Errorf("dangling reference %s", v.Ref)
+		}
+		if target.Class != t.Class {
+			return fmt.Errorf("reference %s has class %s, declared ref<%s>", v.Ref, target.Class, t.Class)
+		}
+	}
+	return nil
+}
+
+// CarDealerSchema returns the ODMG schema of the running example:
+// cars referencing their set of suppliers, suppliers optionally
+// referencing back the cars they sell (Rule 1').
+func CarDealerSchema() *Schema {
+	car := &Class{Name: "car", Attrs: []Field{
+		{Name: "name", Type: StringT},
+		{Name: "desc", Type: StringT},
+		{Name: "suppliers", Type: SetOf(RefTo("supplier"))},
+	}}
+	supplier := &Class{Name: "supplier", Attrs: []Field{
+		{Name: "name", Type: StringT},
+		{Name: "city", Type: StringT},
+		{Name: "zip", Type: IntT},
+	}}
+	return NewSchema(car, supplier)
+}

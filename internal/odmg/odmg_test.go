@@ -1,0 +1,214 @@
+package odmg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		typ  *Type
+		want string
+	}{
+		{StringT, "string"},
+		{IntT, "int"},
+		{SetOf(RefTo("supplier")), "set<ref<supplier>>"},
+		{ListOf(StringT), "list<string>"},
+		{ArrayOf(FloatT), "array<float>"},
+		{BagOf(BoolT), "bag<boolean>"},
+		{TupleOf(Field{"x", IntT}, Field{"y", IntT}), "tuple<x: int, y: int>"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := CarDealerSchema()
+	if err := s.Validate(); err != nil {
+		t.Errorf("dealer schema invalid: %v", err)
+	}
+	if got := s.Classes(); len(got) != 2 || got[0] != "car" {
+		t.Errorf("Classes = %v", got)
+	}
+	car, ok := s.Class("car")
+	if !ok {
+		t.Fatal("car class missing")
+	}
+	typ, ok := car.Attr("suppliers")
+	if !ok || typ.Kind != TSet {
+		t.Errorf("suppliers attr = %v", typ)
+	}
+	if _, ok := car.Attr("none"); ok {
+		t.Error("Attr(none) found")
+	}
+	// Dangling reference type.
+	bad := NewSchema(&Class{Name: "a", Attrs: []Field{{"r", RefTo("ghost")}}})
+	if err := bad.Validate(); err == nil {
+		t.Error("reference to undeclared class accepted")
+	}
+	// Nested collection validation.
+	bad2 := NewSchema(&Class{Name: "a", Attrs: []Field{{"r", SetOf(TupleOf(Field{"x", RefTo("ghost")}))}}})
+	if err := bad2.Validate(); err == nil {
+		t.Error("nested dangling reference accepted")
+	}
+}
+
+func buildDealerDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase(CarDealerSchema())
+	s1 := &Object{OID: db.NewOID("supplier"), Class: "supplier", Attrs: []NamedValue{
+		{"name", Str("VW center")}, {"city", Str("Paris")}, {"zip", Int(75005)},
+	}}
+	s2 := &Object{OID: db.NewOID("supplier"), Class: "supplier", Attrs: []NamedValue{
+		{"name", Str("VW2")}, {"city", Str("Lyon")}, {"zip", Int(69001)},
+	}}
+	c1 := &Object{OID: db.NewOID("car"), Class: "car", Attrs: []NamedValue{
+		{"name", Str("Golf")}, {"desc", Str("Compact")},
+		{"suppliers", Set(Ref(s1.OID), Ref(s2.OID))},
+	}}
+	db.Put(s1)
+	db.Put(s2)
+	db.Put(c1)
+	return db
+}
+
+func TestDatabaseCheck(t *testing.T) {
+	db := buildDealerDB(t)
+	if err := db.Check(); err != nil {
+		t.Fatalf("valid database rejected: %v", err)
+	}
+	if db.Len() != 3 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if len(db.OfClass("supplier")) != 2 {
+		t.Errorf("OfClass(supplier) = %d", len(db.OfClass("supplier")))
+	}
+	ext := db.Extent("supplier")
+	if len(ext) != 2 || ext[0] > ext[1] {
+		t.Errorf("Extent = %v", ext)
+	}
+}
+
+func TestDatabaseCheckFailures(t *testing.T) {
+	mk := func(mutate func(db *Database)) error {
+		db := buildDealerDB(t)
+		mutate(db)
+		return db.Check()
+	}
+	// Undeclared class.
+	if err := mk(func(db *Database) {
+		db.Put(&Object{OID: "x", Class: "ghost"})
+	}); err == nil {
+		t.Error("undeclared class accepted")
+	}
+	// Wrong attribute count.
+	if err := mk(func(db *Database) {
+		db.Put(&Object{OID: "x", Class: "supplier", Attrs: []NamedValue{{"name", Str("n")}}})
+	}); err == nil {
+		t.Error("missing attributes accepted")
+	}
+	// Wrong attribute type.
+	if err := mk(func(db *Database) {
+		db.Put(&Object{OID: "x", Class: "supplier", Attrs: []NamedValue{
+			{"name", Str("n")}, {"city", Str("c")}, {"zip", Str("not-an-int")},
+		}})
+	}); err == nil {
+		t.Error("string zip accepted for int attribute")
+	}
+	// Dangling reference.
+	if err := mk(func(db *Database) {
+		db.Put(&Object{OID: "x", Class: "car", Attrs: []NamedValue{
+			{"name", Str("n")}, {"desc", Str("d")},
+			{"suppliers", Set(Ref("nowhere"))},
+		}})
+	}); err == nil {
+		t.Error("dangling reference accepted")
+	}
+	// Reference to wrong class.
+	if err := mk(func(db *Database) {
+		cars := db.OfClass("car")
+		db.Put(&Object{OID: "x", Class: "car", Attrs: []NamedValue{
+			{"name", Str("n")}, {"desc", Str("d")},
+			{"suppliers", Set(Ref(cars[0].OID))},
+		}})
+	}); err == nil {
+		t.Error("wrong-class reference accepted")
+	}
+}
+
+func TestTupleValues(t *testing.T) {
+	schema := NewSchema(&Class{Name: "point", Attrs: []Field{
+		{"pos", TupleOf(Field{"x", IntT}, Field{"y", IntT})},
+	}})
+	db := NewDatabase(schema)
+	db.Put(&Object{OID: "p1", Class: "point", Attrs: []NamedValue{
+		{"pos", Tuple(NamedValue{"x", Int(1)}, NamedValue{"y", Int(2)})},
+	}})
+	if err := db.Check(); err != nil {
+		t.Errorf("tuple value rejected: %v", err)
+	}
+	// Wrong field order.
+	db.Put(&Object{OID: "p2", Class: "point", Attrs: []NamedValue{
+		{"pos", Tuple(NamedValue{"y", Int(1)}, NamedValue{"x", Int(2)})},
+	}})
+	if err := db.Check(); err == nil {
+		t.Error("misordered tuple accepted")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	v := Set(Str("a"), Int(1), Ref("s1"))
+	s := v.String()
+	for _, frag := range []string{`"a"`, "1", "&s1", "set("} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("value String missing %q: %s", frag, s)
+		}
+	}
+	tu := Tuple(NamedValue{"x", Float(1.5)}, NamedValue{"b", Bool(true)})
+	if !strings.Contains(tu.String(), "x: 1.5") || !strings.Contains(tu.String(), "b: true") {
+		t.Errorf("tuple String = %s", tu)
+	}
+}
+
+func TestNewOIDUnique(t *testing.T) {
+	db := NewDatabase(CarDealerSchema())
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		oid := db.NewOID("car")
+		if seen[oid] {
+			t.Fatalf("duplicate OID %s", oid)
+		}
+		seen[oid] = true
+	}
+}
+
+func TestObjectsOrderAndGet(t *testing.T) {
+	db := buildDealerDB(t)
+	objs := db.Objects()
+	if len(objs) != 3 || objs[0].Class != "supplier" || objs[2].Class != "car" {
+		t.Errorf("Objects order wrong")
+	}
+	if _, ok := db.Get(objs[0].OID); !ok {
+		t.Error("Get failed")
+	}
+	if _, ok := db.Get("ghost"); ok {
+		t.Error("Get(ghost) found")
+	}
+	// Put replaces without duplicating order.
+	db.Put(objs[0])
+	if db.Len() != 3 {
+		t.Error("Put duplicated entry")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := CarDealerSchema().String()
+	for _, frag := range []string{"class car", "attribute set<ref<supplier>> suppliers", "class supplier"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("schema String missing %q:\n%s", frag, s)
+		}
+	}
+}

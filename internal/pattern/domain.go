@@ -1,0 +1,232 @@
+package pattern
+
+import (
+	"sort"
+	"strings"
+
+	"yat/internal/tree"
+)
+
+// Domain describes the set of constants (and variables) that may
+// instantiate a variable (§2). The default domain is "all data
+// constants and variable names". A domain can be restricted to:
+//
+//   - a union of atom kinds (e.g. Y : string|int|float|bool in the
+//     ODMG Ptype pattern),
+//   - an explicit set of symbols (e.g. X : (set|bag) in rule Web4),
+//   - the instances of a pattern (e.g. P2 : Ptype), which makes the
+//     variable a *pattern variable* binding a whole subtree.
+//
+// The zero value is the default (unrestricted) domain.
+type Domain struct {
+	Kinds   []tree.Kind // allowed atom kinds; nil when unrestricted
+	Symbols []string    // allowed symbol constants; nil when unrestricted
+	Pattern string      // non-empty: instances of this pattern
+	// Ref refines a Pattern domain to *references to* instances of
+	// the pattern (written &P). It is how the derived WebCar body
+	// types its join variable: the paper's bold &Psup leaf means "a
+	// reference to some Psup object".
+	Ref bool
+}
+
+// AnyDomain is the default, unrestricted domain.
+var AnyDomain = Domain{}
+
+// KindDomain returns a domain restricted to atoms of the given kinds.
+func KindDomain(kinds ...tree.Kind) Domain { return Domain{Kinds: kinds} }
+
+// SymbolDomain returns a domain restricted to the given symbols.
+func SymbolDomain(symbols ...string) Domain { return Domain{Symbols: symbols} }
+
+// PatternDomain returns a domain of instances of the named pattern.
+func PatternDomain(name string) Domain { return Domain{Pattern: name} }
+
+// RefDomain returns a domain of references to instances of the named
+// pattern (&P).
+func RefDomain(name string) Domain { return Domain{Pattern: name, Ref: true} }
+
+// IsAny reports whether the domain is unrestricted.
+func (d Domain) IsAny() bool {
+	return len(d.Kinds) == 0 && len(d.Symbols) == 0 && d.Pattern == ""
+}
+
+// IsPattern reports whether the domain is a pattern domain (making
+// its variable a pattern variable). Reference domains are reported
+// separately by IsRefPattern.
+func (d Domain) IsPattern() bool { return d.Pattern != "" && !d.Ref }
+
+// IsRefPattern reports whether the domain is a reference domain (&P).
+func (d Domain) IsRefPattern() bool { return d.Pattern != "" && d.Ref }
+
+// Contains reports whether constant v belongs to the domain. Pattern
+// and reference domains cannot be decided from the value alone and
+// always report false here; the engine checks them against the model.
+func (d Domain) Contains(v tree.Value) bool {
+	if d.Pattern != "" {
+		return false
+	}
+	if d.IsAny() {
+		return true
+	}
+	for _, k := range d.Kinds {
+		if v.Kind() == k {
+			return true
+		}
+	}
+	if s, ok := v.(tree.Symbol); ok {
+		for _, sym := range d.Symbols {
+			if string(s) == sym {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every constant of d is also in e — the
+// variable-instantiation condition of the paper ("a variable whose
+// domain is a subset").
+//
+// Pattern domains are compared by name only at this level; the
+// model-aware instantiation check refines pattern-domain inclusion
+// via the instantiation relation itself.
+func (d Domain) SubsetOf(e Domain) bool {
+	if e.IsAny() {
+		// Pattern domains range over trees, not constants; reference
+		// domains range over references, which are labels.
+		return !d.IsPattern()
+	}
+	if d.IsAny() {
+		return false
+	}
+	if d.Pattern != "" || e.Pattern != "" {
+		return d.Pattern == e.Pattern && d.Ref == e.Ref
+	}
+	for _, k := range d.Kinds {
+		found := false
+		for _, k2 := range e.Kinds {
+			if k == k2 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for _, s := range d.Symbols {
+		if symbolCovered(s, e) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func symbolCovered(s string, e Domain) bool {
+	for _, k := range e.Kinds {
+		if k == tree.KindSymbol {
+			return true
+		}
+	}
+	for _, s2 := range e.Symbols {
+		if s == s2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersect returns the intersection of two domains, used by type
+// inference to accumulate restrictions on a variable. The second
+// result reports whether the intersection is non-empty and
+// representable (a pattern domain intersects only with itself or the
+// unrestricted domain; an empty kind/symbol intersection reports
+// false rather than returning the — otherwise identical — zero
+// value, which denotes the unrestricted domain).
+func (d Domain) Intersect(e Domain) (Domain, bool) {
+	switch {
+	case d.IsAny():
+		return e, true
+	case e.IsAny():
+		return d, true
+	case d.Pattern != "" || e.Pattern != "":
+		if d.Pattern == e.Pattern && d.Ref == e.Ref {
+			return d, true
+		}
+		return Domain{}, false
+	}
+	var out Domain
+	for _, k := range d.Kinds {
+		for _, k2 := range e.Kinds {
+			if k == k2 {
+				out.Kinds = append(out.Kinds, k)
+				break
+			}
+		}
+	}
+	eHasSymbolKind := false
+	for _, k := range e.Kinds {
+		if k == tree.KindSymbol {
+			eHasSymbolKind = true
+		}
+	}
+	dHasSymbolKind := false
+	for _, k := range d.Kinds {
+		if k == tree.KindSymbol {
+			dHasSymbolKind = true
+		}
+	}
+	for _, s := range d.Symbols {
+		if eHasSymbolKind || containsString(e.Symbols, s) {
+			out.Symbols = append(out.Symbols, s)
+		}
+	}
+	for _, s := range e.Symbols {
+		if dHasSymbolKind && !containsString(out.Symbols, s) {
+			out.Symbols = append(out.Symbols, s)
+		}
+	}
+	if len(out.Kinds) == 0 && len(out.Symbols) == 0 {
+		return Domain{}, false // empty intersection
+	}
+	return out, true
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the domain in concrete syntax: `string|int`,
+// `(set|bag)`, `Ptype`, or `any`.
+func (d Domain) String() string {
+	if d.IsAny() {
+		return "any"
+	}
+	if d.IsRefPattern() {
+		return "&" + d.Pattern
+	}
+	if d.IsPattern() {
+		return d.Pattern
+	}
+	var parts []string
+	for _, k := range d.Kinds {
+		parts = append(parts, k.String())
+	}
+	if len(d.Symbols) > 0 {
+		syms := append([]string(nil), d.Symbols...)
+		sort.Strings(syms)
+		parts = append(parts, "("+strings.Join(syms, "|")+")")
+	}
+	return strings.Join(parts, "|")
+}
+
+// Equal reports whether two domains denote the same set.
+func (d Domain) Equal(e Domain) bool {
+	return d.SubsetOf(e) && e.SubsetOf(d)
+}

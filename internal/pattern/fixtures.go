@@ -1,0 +1,160 @@
+package pattern
+
+import "yat/internal/tree"
+
+// This file reconstructs the models of Figure 2 and the patterns used
+// throughout the paper's examples. They serve as shared fixtures for
+// tests, examples and the experiment harness (experiment E2).
+
+// YatModel returns the universal model: the single pattern
+//
+//	Yat = L | L < -*> ^Yat > | &Yat
+//
+// that captures any data (top left of Figure 2).
+func YatModel() *Model {
+	yat := NewPattern("Yat",
+		NewVar("L", AnyDomain),
+		NewVar("L", AnyDomain, Star(NewPatRef("Yat", false))),
+		NewPatRef("Yat", true),
+	)
+	return NewModel(yat)
+}
+
+// ODMGModel returns the model of ODMG-compliant data (top right of
+// Figure 2): classes carry a class name and attribute/type pairs;
+// types are atoms, collections, tuples or references to classes.
+func ODMGModel() *Model {
+	atomDomain := KindDomain(tree.KindString, tree.KindInt, tree.KindFloat, tree.KindBool)
+	pclass := NewPattern("Pclass",
+		NewSym("class",
+			One(NewVar("Class_name", AnyDomain,
+				Star(NewVar("Att", AnyDomain,
+					One(NewPatRef("Ptype", false))))))),
+	)
+	ptype := NewPattern("Ptype",
+		NewVar("Y", atomDomain),
+		NewSym("set", Star(NewPatRef("Ptype", false))),
+		NewSym("bag", Star(NewPatRef("Ptype", false))),
+		NewSym("list", Star(NewPatRef("Ptype", false))),
+		NewSym("array", Star(NewPatRef("Ptype", false))),
+		NewSym("tuple", Star(NewVar("Att2", AnyDomain, One(NewPatRef("Ptype", false))))),
+		NewPatRef("Pclass", true),
+	)
+	return NewModel(pclass, ptype)
+}
+
+// PcarPattern returns the pattern for car objects of the Car Schema
+// model (§2):
+//
+//	Pcar: class -> car < -> name -> S1:string, -> desc -> S2:string,
+//	                       -> suppliers -> set -*> &Psup >
+func PcarPattern() *Pattern {
+	str := KindDomain(tree.KindString)
+	return NewPattern("Pcar",
+		NewSym("class",
+			One(NewSym("car",
+				One(NewSym("name", One(NewVar("S1", str)))),
+				One(NewSym("desc", One(NewVar("S2", str)))),
+				One(NewSym("suppliers",
+					One(NewSym("set", Star(NewPatRef("Psup", true)))))),
+			))),
+	)
+}
+
+// PsupPattern returns the pattern for supplier objects of the Car
+// Schema model (§2).
+func PsupPattern() *Pattern {
+	str := KindDomain(tree.KindString)
+	return NewPattern("Psup",
+		NewSym("class",
+			One(NewSym("supplier",
+				One(NewSym("name", One(NewVar("S1", str)))),
+				One(NewSym("city", One(NewVar("S2", str)))),
+				One(NewSym("zip", One(NewVar("S3", str)))),
+			))),
+	)
+}
+
+// CarSchemaModel returns the Car Schema model (bottom left of Figure
+// 2): the Pcar and Psup patterns, which are instances of both the
+// ODMG and Yat models.
+func CarSchemaModel() *Model {
+	return NewModel(PcarPattern(), PsupPattern())
+}
+
+// GolfStore returns ground data for the Golf model (bottom right of
+// Figure 2): the car object c1 referencing two supplier objects.
+func GolfStore() *tree.Store {
+	s := tree.NewStore()
+	s.Put(tree.PlainName("c1"), tree.Sym("class",
+		tree.Sym("car",
+			tree.Sym("name", tree.Str("Golf")),
+			tree.Sym("desc", tree.Str("A classic compact car")),
+			tree.Sym("suppliers", tree.Sym("set",
+				tree.RefLeaf(tree.PlainName("s1")),
+				tree.RefLeaf(tree.PlainName("s2")),
+			)),
+		)))
+	s.Put(tree.PlainName("s1"), tree.Sym("class",
+		tree.Sym("supplier",
+			tree.Sym("name", tree.Str("VW center")),
+			tree.Sym("city", tree.Str("Paris")),
+			tree.Sym("zip", tree.Str("75005")),
+		)))
+	s.Put(tree.PlainName("s2"), tree.Sym("class",
+		tree.Sym("supplier",
+			tree.Sym("name", tree.Str("VW2")),
+			tree.Sym("city", tree.Str("Versailles")),
+			tree.Sym("zip", tree.Str("78000")),
+		)))
+	return s
+}
+
+// GolfModel returns the Golf ground model derived from GolfStore.
+func GolfModel() *Model { return StoreModel(GolfStore()) }
+
+// BrochurePattern returns the pattern describing SGML brochures that
+// comply with the paper's DTD (§3.1):
+//
+//	Pbr: brochure < -> number -> Num, -> title -> T, -> model -> Year,
+//	                -> desc -> D, -> spplrs -*> supplier <
+//	                    -> name -> SN, -> address -> Add > >
+func BrochurePattern() *Pattern {
+	return NewPattern("Pbr",
+		NewSym("brochure",
+			One(NewSym("number", One(NewVar("Num", AnyDomain)))),
+			One(NewSym("title", One(NewVar("T", AnyDomain)))),
+			One(NewSym("model", One(NewVar("Year", AnyDomain)))),
+			One(NewSym("desc", One(NewVar("D", AnyDomain)))),
+			One(NewSym("spplrs",
+				Star(NewSym("supplier",
+					One(NewSym("name", One(NewVar("SN", AnyDomain)))),
+					One(NewSym("address", One(NewVar("Add", AnyDomain)))),
+				)))),
+		),
+	)
+}
+
+// BrochureModel returns the model with the single brochure pattern.
+func BrochureModel() *Model { return NewModel(BrochurePattern()) }
+
+// HTMLModel returns a model of HTML pages as produced by the Web
+// rules (Figure 5): a page is an html element with head/title and a
+// body of recursively nested items.
+func HTMLModel() *Model {
+	atomDomain := KindDomain(tree.KindString, tree.KindInt, tree.KindFloat, tree.KindBool)
+	page := NewPattern("Phtml",
+		NewSym("html",
+			One(NewSym("head", One(NewSym("title", One(NewVar("T", AnyDomain)))))),
+			One(NewSym("body", Star(NewPatRef("Pelem", false)))),
+		),
+	)
+	elem := NewPattern("Pelem",
+		NewVar("S", atomDomain),
+		NewVar("Tag", AnyDomain, Star(NewPatRef("Pelem", false))),
+		NewSym("a",
+			One(NewSym("href", One(NewPatRef("Phtml", true)))),
+			One(NewSym("cont", One(NewVar("C", AnyDomain))))),
+	)
+	return NewModel(page, elem)
+}

@@ -1,0 +1,168 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"yat/internal/tree"
+)
+
+// Model is a set of named patterns — one level of data representation
+// (§2, Figure 2). Patterns are kept in insertion order for
+// deterministic output.
+type Model struct {
+	names  []string
+	byName map[string]*Pattern
+}
+
+// NewModel returns a model holding the given patterns.
+func NewModel(patterns ...*Pattern) *Model {
+	m := &Model{byName: make(map[string]*Pattern)}
+	for _, p := range patterns {
+		m.Add(p)
+	}
+	return m
+}
+
+// Add inserts or replaces the pattern under its name.
+func (m *Model) Add(p *Pattern) {
+	if _, ok := m.byName[p.Name]; !ok {
+		m.names = append(m.names, p.Name)
+	}
+	m.byName[p.Name] = p
+}
+
+// Get returns the pattern with the given name.
+func (m *Model) Get(name string) (*Pattern, bool) {
+	p, ok := m.byName[name]
+	return p, ok
+}
+
+// Has reports whether the model defines name.
+func (m *Model) Has(name string) bool {
+	_, ok := m.byName[name]
+	return ok
+}
+
+// Len reports the number of patterns.
+func (m *Model) Len() int { return len(m.names) }
+
+// Names returns pattern names in insertion order.
+func (m *Model) Names() []string { return append([]string(nil), m.names...) }
+
+// Patterns returns the patterns in insertion order.
+func (m *Model) Patterns() []*Pattern {
+	out := make([]*Pattern, 0, len(m.names))
+	for _, n := range m.names {
+		out = append(out, m.byName[n])
+	}
+	return out
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := NewModel()
+	for _, p := range m.Patterns() {
+		c.Add(p.Clone())
+	}
+	return c
+}
+
+// Merge adds all patterns of other into a copy of m (other wins on
+// name clashes) and returns the copy.
+func (m *Model) Merge(other *Model) *Model {
+	c := m.Clone()
+	for _, p := range other.Patterns() {
+		c.Add(p.Clone())
+	}
+	return c
+}
+
+// Validate checks internal consistency: every pattern reference
+// (deref, &ref or pattern-variable domain) resolves to a pattern of
+// the model.
+func (m *Model) Validate() error {
+	var errs []string
+	for _, p := range m.Patterns() {
+		for _, t := range p.Union {
+			t.Walk(func(pt *PTree) bool {
+				switch l := pt.Label.(type) {
+				case PatRef:
+					if !m.Has(l.Name) {
+						errs = append(errs, fmt.Sprintf("pattern %s references undefined pattern %s", p.Name, l.Name))
+					}
+				case Var:
+					if l.Domain.IsPattern() && !m.Has(l.Domain.Pattern) {
+						errs = append(errs, fmt.Sprintf("pattern %s: variable %s has undefined pattern domain %s", p.Name, l.Name, l.Domain.Pattern))
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("model invalid:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// String renders the model, one pattern per line.
+func (m *Model) String() string {
+	var b strings.Builder
+	for _, p := range m.Patterns() {
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GroundTree converts a ground data tree into a ground pattern tree:
+// constants become Const labels and reference leaves become Const
+// labels wrapping the tree.Ref (so they can be resolved against the
+// ground model the store converts to).
+func GroundTree(t *tree.Node) *PTree {
+	pt := &PTree{Label: Const{Value: t.Label}}
+	for _, c := range t.Children {
+		pt.Edges = append(pt.Edges, One(GroundTree(c)))
+	}
+	return pt
+}
+
+// GroundPattern wraps a ground data tree as a single-branch pattern
+// registered under the canonical key of its name.
+func GroundPattern(name tree.Name, t *tree.Node) *Pattern {
+	return NewPattern(name.Key(), GroundTree(t))
+}
+
+// StoreModel converts a store of ground trees into the corresponding
+// ground model: one ground pattern per entry, named by the entry's
+// canonical key. This is the bridge that lets ground data participate
+// in the instantiation relation (Figure 2's Golf model).
+func StoreModel(s *tree.Store) *Model {
+	m := NewModel()
+	for _, e := range s.Entries() {
+		m.Add(GroundPattern(e.Name, e.Tree))
+	}
+	return m
+}
+
+// ToNode converts a ground pattern tree back into a data tree. It
+// fails if the tree is not ground.
+func ToNode(t *PTree) (*tree.Node, error) {
+	c, ok := t.Label.(Const)
+	if !ok {
+		return nil, fmt.Errorf("pattern: ToNode on non-ground tree (label %s)", t.Label.Display())
+	}
+	n := tree.New(c.Value)
+	for _, e := range t.Edges {
+		if e.Occ != OccOne {
+			return nil, fmt.Errorf("pattern: ToNode on non-ground tree (edge %s)", e.Occ)
+		}
+		child, err := ToNode(e.To)
+		if err != nil {
+			return nil, err
+		}
+		n.Add(child)
+	}
+	return n, nil
+}

@@ -1,0 +1,405 @@
+// Package pattern implements the typed layer of the YAT data model:
+// patterns (unions of pattern trees with variables, occurrence
+// indicators and pattern references), models (sets of patterns with
+// variable domains) and the instantiation relation between them.
+//
+// Instantiation is the paper's central novelty: a model can be
+// refined into a more specific model, down to ground patterns that
+// represent real data. The same relation doubles as the subtyping
+// check used to type conversion programs and to validate their
+// composition.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"yat/internal/tree"
+)
+
+// Occ is the occurrence indicator carried by a pattern edge.
+type Occ uint8
+
+// Occurrence indicators. One and Star are the two indicators of the
+// model (§2); Group, Ordered and Index additionally appear in YATL
+// rule heads and bodies (§3.1, §3.3) to control collection
+// construction and array positions.
+const (
+	OccOne     Occ = iota // empty label: exactly one occurrence
+	OccStar               // ★: zero or more occurrences (keeps duplicates, input order)
+	OccGroup              // {}: grouping with duplicate elimination, no order
+	OccOrdered            // [] v1,v2: grouping + ordering on criteria
+	OccIndex              // superscript I: array index edge
+)
+
+// String returns the concrete-syntax arrow for the indicator.
+func (o Occ) String() string {
+	switch o {
+	case OccOne:
+		return "->"
+	case OccStar:
+		return "-*>"
+	case OccGroup:
+		return "-{}>"
+	case OccOrdered:
+		return "-[...]>"
+	case OccIndex:
+		return "-#...>"
+	default:
+		return fmt.Sprintf("Occ(%d)", uint8(o))
+	}
+}
+
+// Label is a pattern-tree node label: Const, Var or PatRef (a sealed
+// interface; consumers dispatch with type switches).
+type Label interface {
+	isLabel()
+	// Display renders the label in concrete syntax.
+	Display() string
+}
+
+// Const is a constant label (symbol or atom), as on ground patterns.
+type Const struct {
+	Value tree.Value
+}
+
+func (Const) isLabel() {}
+
+// Display implements Label.
+func (c Const) Display() string { return c.Value.Display() }
+
+// Var is a data or pattern variable with its domain. A Var whose
+// domain names a pattern (Domain.Pattern != "") is a pattern variable
+// in the paper's sense: it matches any instance of that pattern and
+// binds the whole subtree.
+type Var struct {
+	Name   string
+	Domain Domain
+}
+
+func (Var) isLabel() {}
+
+// Display implements Label.
+func (v Var) Display() string {
+	if v.Domain.IsAny() {
+		return v.Name
+	}
+	return v.Name + " : " + v.Domain.String()
+}
+
+// PatRef is an occurrence of a pattern name at a leaf. With Ref set it
+// denotes a reference (&P, sharing / cyclic structures); without, it
+// denotes dereferencing (the pattern tree is plugged in, written ^P in
+// our concrete syntax). Args carries Skolem-function arguments when
+// the reference appears in a YATL rule (e.g. &Psup(SN)).
+type PatRef struct {
+	Name string
+	Args []Arg
+	Ref  bool
+}
+
+func (PatRef) isLabel() {}
+
+// Display implements Label.
+func (p PatRef) Display() string {
+	var b strings.Builder
+	if p.Ref {
+		b.WriteByte('&')
+	} else {
+		b.WriteByte('^')
+	}
+	b.WriteString(p.Name)
+	if len(p.Args) > 0 {
+		b.WriteByte('(')
+		for i, a := range p.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.Display())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Arg is one Skolem-function argument: a variable or a constant.
+type Arg struct {
+	IsVar bool
+	Var   string
+	Const tree.Value
+}
+
+// VarArg returns a variable argument.
+func VarArg(name string) Arg { return Arg{IsVar: true, Var: name} }
+
+// ConstArg returns a constant argument.
+func ConstArg(v tree.Value) Arg { return Arg{Const: v} }
+
+// Display renders the argument.
+func (a Arg) Display() string {
+	if a.IsVar {
+		return a.Var
+	}
+	return a.Const.Display()
+}
+
+// Edge is one outgoing edge of a pattern-tree node: an occurrence
+// indicator, optional ordering criteria or index variable, and the
+// child pattern tree.
+type Edge struct {
+	Occ     Occ
+	OrderBy []string // OccOrdered: criteria variables, significant order
+	Index   string   // OccIndex: position variable
+	To      *PTree
+}
+
+// PTree is a pattern tree: a labeled node with annotated edges.
+type PTree struct {
+	Label Label
+	Edges []Edge
+}
+
+// NewConst returns a pattern node with a constant label.
+func NewConst(v tree.Value, edges ...Edge) *PTree {
+	return &PTree{Label: Const{Value: v}, Edges: edges}
+}
+
+// NewSym returns a pattern node labeled with a symbol constant.
+func NewSym(name string, edges ...Edge) *PTree {
+	return NewConst(tree.Symbol(name), edges...)
+}
+
+// NewVar returns a pattern node labeled with a variable.
+func NewVar(name string, dom Domain, edges ...Edge) *PTree {
+	return &PTree{Label: Var{Name: name, Domain: dom}, Edges: edges}
+}
+
+// NewPatRef returns a leaf referencing a pattern by name.
+func NewPatRef(name string, ref bool, args ...Arg) *PTree {
+	return &PTree{Label: PatRef{Name: name, Args: args, Ref: ref}}
+}
+
+// One returns an exactly-once edge.
+func One(to *PTree) Edge { return Edge{Occ: OccOne, To: to} }
+
+// Star returns a zero-or-more edge.
+func Star(to *PTree) Edge { return Edge{Occ: OccStar, To: to} }
+
+// Group returns a duplicate-eliminating grouping edge ({}).
+func Group(to *PTree) Edge { return Edge{Occ: OccGroup, To: to} }
+
+// Ordered returns a grouping edge ordered by the given criteria
+// variables ([]v1,v2).
+func Ordered(to *PTree, orderBy ...string) Edge {
+	return Edge{Occ: OccOrdered, OrderBy: orderBy, To: to}
+}
+
+// Index returns an index edge binding (or ordering by) variable v.
+func Index(v string, to *PTree) Edge {
+	return Edge{Occ: OccIndex, Index: v, To: to}
+}
+
+// Clone returns a deep copy of the pattern tree.
+func (t *PTree) Clone() *PTree {
+	if t == nil {
+		return nil
+	}
+	c := &PTree{Label: t.Label}
+	if len(t.Edges) > 0 {
+		c.Edges = make([]Edge, len(t.Edges))
+		for i, e := range t.Edges {
+			c.Edges[i] = Edge{
+				Occ:     e.Occ,
+				OrderBy: append([]string(nil), e.OrderBy...),
+				Index:   e.Index,
+				To:      e.To.Clone(),
+			}
+		}
+	}
+	return c
+}
+
+// Walk calls fn for every node in preorder; returning false prunes
+// the subtree.
+func (t *PTree) Walk(fn func(*PTree) bool) {
+	if t == nil {
+		return
+	}
+	if !fn(t) {
+		return
+	}
+	for _, e := range t.Edges {
+		e.To.Walk(fn)
+	}
+}
+
+// Vars returns the names of all variables occurring in the tree:
+// node-label variables, Skolem argument variables, ordering criteria
+// and index variables. Order of first occurrence, no duplicates.
+func (t *PTree) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walk func(pt *PTree)
+	walk = func(pt *PTree) {
+		if pt == nil {
+			return
+		}
+		switch l := pt.Label.(type) {
+		case Var:
+			add(l.Name)
+		case PatRef:
+			for _, a := range l.Args {
+				if a.IsVar {
+					add(a.Var)
+				}
+			}
+		}
+		for _, e := range pt.Edges {
+			add(e.Index)
+			for _, v := range e.OrderBy {
+				add(v)
+			}
+			walk(e.To)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// PatternRefs returns the names of all patterns referenced (deref or
+// &ref) anywhere in the tree, in preorder, duplicates included.
+func (t *PTree) PatternRefs() []PatRef {
+	var out []PatRef
+	t.Walk(func(pt *PTree) bool {
+		if r, ok := pt.Label.(PatRef); ok {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// IsGround reports whether the tree is ground: no variables, no
+// pattern derefs (references &name to minted identities are allowed
+// on ground data), and all edges OccOne.
+func (t *PTree) IsGround() bool {
+	ground := true
+	t.Walk(func(pt *PTree) bool {
+		switch l := pt.Label.(type) {
+		case Var:
+			ground = false
+		case PatRef:
+			if !l.Ref {
+				ground = false
+			}
+		}
+		for _, e := range pt.Edges {
+			if e.Occ != OccOne {
+				ground = false
+			}
+		}
+		return ground
+	})
+	return ground
+}
+
+// String renders the pattern tree in concrete syntax.
+func (t *PTree) String() string {
+	var b strings.Builder
+	t.write(&b)
+	return b.String()
+}
+
+func (t *PTree) write(b *strings.Builder) {
+	if t == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	b.WriteString(t.Label.Display())
+	switch len(t.Edges) {
+	case 0:
+		return
+	case 1:
+		// Chain form: `a -> b -> c`, as in the paper.
+		b.WriteByte(' ')
+		t.Edges[0].write(b)
+	default:
+		b.WriteString(" < ")
+		for i, e := range t.Edges {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.write(b)
+		}
+		b.WriteString(" >")
+	}
+}
+
+func (e Edge) write(b *strings.Builder) {
+	switch e.Occ {
+	case OccOne:
+		b.WriteString("-> ")
+	case OccStar:
+		b.WriteString("-*> ")
+	case OccGroup:
+		b.WriteString("-{}> ")
+	case OccOrdered:
+		b.WriteString("-[")
+		b.WriteString(strings.Join(e.OrderBy, ","))
+		b.WriteString("]> ")
+	case OccIndex:
+		b.WriteString("-#")
+		b.WriteString(e.Index)
+		b.WriteString("> ")
+	}
+	e.To.write(b)
+}
+
+// String renders the edge in concrete syntax.
+func (e Edge) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+// Pattern is a named union of pattern trees.
+type Pattern struct {
+	Name  string
+	Union []*PTree
+}
+
+// NewPattern returns a pattern with the given name and union branches.
+func NewPattern(name string, union ...*PTree) *Pattern {
+	return &Pattern{Name: name, Union: union}
+}
+
+// Clone returns a deep copy.
+func (p *Pattern) Clone() *Pattern {
+	c := &Pattern{Name: p.Name, Union: make([]*PTree, len(p.Union))}
+	for i, t := range p.Union {
+		c.Union[i] = t.Clone()
+	}
+	return c
+}
+
+// IsGround reports whether the pattern is ground: a single union
+// branch that is itself ground. Ground patterns represent real data
+// and can only be instantiated by themselves.
+func (p *Pattern) IsGround() bool {
+	return len(p.Union) == 1 && p.Union[0].IsGround()
+}
+
+// String renders the pattern as `Name = tree | tree | ...`.
+func (p *Pattern) String() string {
+	parts := make([]string, len(p.Union))
+	for i, t := range p.Union {
+		parts[i] = t.String()
+	}
+	return p.Name + " = " + strings.Join(parts, " | ")
+}

@@ -1,0 +1,567 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"yat/internal/tree"
+)
+
+func TestDomainContains(t *testing.T) {
+	str := KindDomain(tree.KindString)
+	cases := []struct {
+		d    Domain
+		v    tree.Value
+		want bool
+	}{
+		{AnyDomain, tree.String("x"), true},
+		{AnyDomain, tree.Symbol("set"), true},
+		{str, tree.String("x"), true},
+		{str, tree.Int(5), false},
+		{str, tree.Symbol("x"), false},
+		{KindDomain(tree.KindInt, tree.KindFloat), tree.Float(1.5), true},
+		{SymbolDomain("set", "bag"), tree.Symbol("set"), true},
+		{SymbolDomain("set", "bag"), tree.Symbol("list"), false},
+		{SymbolDomain("set", "bag"), tree.String("set"), false},
+		{PatternDomain("Ptype"), tree.String("x"), false},
+	}
+	for _, c := range cases {
+		if got := c.d.Contains(c.v); got != c.want {
+			t.Errorf("Domain(%s).Contains(%v) = %v, want %v", c.d, c.v, got, c.want)
+		}
+	}
+}
+
+func TestDomainSubsetOf(t *testing.T) {
+	str := KindDomain(tree.KindString)
+	atoms := KindDomain(tree.KindString, tree.KindInt, tree.KindFloat, tree.KindBool)
+	cases := []struct {
+		a, b Domain
+		want bool
+	}{
+		{str, AnyDomain, true},
+		{AnyDomain, str, false},
+		{str, atoms, true},
+		{atoms, str, false},
+		{SymbolDomain("set"), SymbolDomain("set", "bag"), true},
+		{SymbolDomain("set", "bag"), SymbolDomain("set"), false},
+		{SymbolDomain("set"), KindDomain(tree.KindSymbol), true},
+		{SymbolDomain("set"), str, false},
+		{PatternDomain("P"), PatternDomain("P"), true},
+		{PatternDomain("P"), PatternDomain("Q"), false},
+		{PatternDomain("P"), AnyDomain, false}, // pattern vars range over trees
+		{AnyDomain, AnyDomain, true},
+	}
+	for _, c := range cases {
+		if got := c.a.SubsetOf(c.b); got != c.want {
+			t.Errorf("(%s).SubsetOf(%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDomainIntersect(t *testing.T) {
+	str := KindDomain(tree.KindString)
+	atoms := KindDomain(tree.KindString, tree.KindInt)
+	got, ok := str.Intersect(atoms)
+	if !ok || !got.Equal(str) {
+		t.Errorf("str ∩ atoms = %v, want %v", got, str)
+	}
+	got, ok = AnyDomain.Intersect(str)
+	if !ok || !got.Equal(str) {
+		t.Errorf("any ∩ str = %v", got)
+	}
+	got, ok = SymbolDomain("set", "bag").Intersect(SymbolDomain("bag", "list"))
+	if !ok || !got.Equal(SymbolDomain("bag")) {
+		t.Errorf("symbol intersect = %v", got)
+	}
+	if _, ok := PatternDomain("P").Intersect(str); ok {
+		t.Error("pattern ∩ kind should fail")
+	}
+	if d, ok := PatternDomain("P").Intersect(PatternDomain("P")); !ok || d.Pattern != "P" {
+		t.Error("pattern ∩ same pattern should succeed")
+	}
+}
+
+func TestPTreeStringAndVars(t *testing.T) {
+	pt := NewSym("class",
+		One(NewSym("supplier",
+			One(NewSym("name", One(NewVar("SN", AnyDomain)))),
+			One(NewSym("sells", One(NewSym("set", Group(NewPatRef("Pcar", true, VarArg("Pbr"))))))),
+		)))
+	s := pt.String()
+	for _, frag := range []string{"class", "-{}>", "&Pcar(Pbr)", "SN"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+	vars := pt.Vars()
+	want := []string{"SN", "Pbr"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Errorf("Vars[%d] = %q, want %q", i, vars[i], want[i])
+		}
+	}
+}
+
+func TestPTreeVarsIncludeCriteriaAndIndex(t *testing.T) {
+	pt := NewSym("list",
+		Ordered(NewPatRef("Psup", true, VarArg("SN")), "SN"),
+		Index("I", NewVar("X", AnyDomain)),
+	)
+	vars := pt.Vars()
+	has := func(name string) bool {
+		for _, v := range vars {
+			if v == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("SN") || !has("I") || !has("X") {
+		t.Errorf("Vars = %v, want SN, I, X present", vars)
+	}
+}
+
+func TestPTreeCloneIndependent(t *testing.T) {
+	pt := NewSym("a", Star(NewVar("X", KindDomain(tree.KindString))))
+	c := pt.Clone()
+	c.Edges[0].To.Label = Var{Name: "Y"}
+	if pt.Edges[0].To.Label.(Var).Name != "X" {
+		t.Error("clone shares structure")
+	}
+}
+
+func TestIsGround(t *testing.T) {
+	ground := NewSym("class", One(NewSym("car", One(NewConst(tree.String("Golf"))))))
+	if !ground.IsGround() {
+		t.Error("constant One-edge tree should be ground")
+	}
+	withVar := NewSym("class", One(NewVar("X", AnyDomain)))
+	if withVar.IsGround() {
+		t.Error("tree with variable is not ground")
+	}
+	withStar := NewSym("class", Star(NewSym("x")))
+	if withStar.IsGround() {
+		t.Error("tree with star edge is not ground")
+	}
+	withRef := NewSym("set", One(NewPatRef("s1", true)))
+	if !withRef.IsGround() {
+		t.Error("&refs are allowed on ground data")
+	}
+	withDeref := NewSym("set", One(NewPatRef("Ptype", false)))
+	if withDeref.IsGround() {
+		t.Error("pattern deref is not ground")
+	}
+}
+
+func TestGroundTreeRoundTrip(t *testing.T) {
+	n := tree.Sym("brochure",
+		tree.Sym("number", tree.IntLeaf(1)),
+		tree.Sym("title", tree.Str("Golf")),
+		tree.RefLeaf(tree.PlainName("s1")),
+	)
+	pt := GroundTree(n)
+	if !pt.IsGround() {
+		t.Fatal("GroundTree output not ground")
+	}
+	back, err := ToNode(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Equal(back) {
+		t.Errorf("round trip changed tree: %s vs %s", n, back)
+	}
+}
+
+func TestToNodeRejectsNonGround(t *testing.T) {
+	if _, err := ToNode(NewVar("X", AnyDomain)); err == nil {
+		t.Error("ToNode should reject variables")
+	}
+	if _, err := ToNode(NewSym("a", Star(NewSym("b")))); err == nil {
+		t.Error("ToNode should reject star edges")
+	}
+}
+
+func TestModelBasics(t *testing.T) {
+	m := NewModel(PcarPattern(), PsupPattern())
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if _, ok := m.Get("Pcar"); !ok {
+		t.Error("Get(Pcar) failed")
+	}
+	if m.Has("Nope") {
+		t.Error("Has(Nope) true")
+	}
+	names := m.Names()
+	if names[0] != "Pcar" || names[1] != "Psup" {
+		t.Errorf("Names order: %v", names)
+	}
+	// Replace keeps order.
+	m.Add(NewPattern("Pcar", NewSym("x")))
+	if m.Len() != 2 || m.Names()[0] != "Pcar" {
+		t.Error("replace broke ordering")
+	}
+	p, _ := m.Get("Pcar")
+	if p.Union[0].String() != "x" {
+		t.Error("replace did not take effect")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	ok := CarSchemaModel()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("CarSchema should validate: %v", err)
+	}
+	bad := NewModel(NewPattern("P", NewSym("a", One(NewPatRef("Missing", false)))))
+	if err := bad.Validate(); err == nil {
+		t.Error("undefined pattern ref should fail validation")
+	}
+	bad2 := NewModel(NewPattern("P", NewVar("X", PatternDomain("Missing"))))
+	if err := bad2.Validate(); err == nil {
+		t.Error("undefined pattern domain should fail validation")
+	}
+}
+
+func TestModelMerge(t *testing.T) {
+	a := NewModel(NewPattern("P", NewSym("a")))
+	b := NewModel(NewPattern("Q", NewSym("b")), NewPattern("P", NewSym("c")))
+	m := a.Merge(b)
+	if m.Len() != 2 {
+		t.Fatalf("merged Len = %d", m.Len())
+	}
+	p, _ := m.Get("P")
+	if p.Union[0].String() != "c" {
+		t.Error("merge should let other win on clashes")
+	}
+	// Originals untouched.
+	p, _ = a.Get("P")
+	if p.Union[0].String() != "a" {
+		t.Error("merge mutated receiver")
+	}
+}
+
+// --- Figure 2: the instantiation chain ---------------------------------
+
+func TestFigure2ODMGInstanceOfYat(t *testing.T) {
+	if err := InstanceOf(ODMGModel(), YatModel()); err != nil {
+		t.Errorf("ODMG should be an instance of Yat: %v", err)
+	}
+}
+
+func TestFigure2CarSchemaInstanceOfODMG(t *testing.T) {
+	if err := InstanceOf(CarSchemaModel(), ODMGModel()); err != nil {
+		t.Errorf("Car Schema should be an instance of ODMG: %v", err)
+	}
+}
+
+func TestFigure2CarSchemaInstanceOfYat(t *testing.T) {
+	if err := InstanceOf(CarSchemaModel(), YatModel()); err != nil {
+		t.Errorf("Car Schema should be an instance of Yat: %v", err)
+	}
+}
+
+func TestFigure2GolfInstanceOfAll(t *testing.T) {
+	golf := GolfModel()
+	for _, gen := range []struct {
+		name string
+		m    *Model
+	}{
+		{"CarSchema", CarSchemaModel()},
+		{"ODMG", ODMGModel()},
+		{"Yat", YatModel()},
+	} {
+		if err := InstanceOf(golf, gen.m); err != nil {
+			t.Errorf("Golf should be an instance of %s: %v", gen.name, err)
+		}
+	}
+}
+
+func TestFigure2NotInstanceBackwards(t *testing.T) {
+	// The relation is not symmetric: Yat is not an instance of ODMG
+	// (an arbitrary tree is not ODMG-compliant), and ODMG is not an
+	// instance of Car Schema.
+	if err := InstanceOf(YatModel(), ODMGModel()); err == nil {
+		t.Error("Yat should NOT be an instance of ODMG")
+	}
+	if err := InstanceOf(ODMGModel(), CarSchemaModel()); err == nil {
+		t.Error("ODMG should NOT be an instance of Car Schema")
+	}
+}
+
+func TestPatternInstanceOfSpecific(t *testing.T) {
+	if !PatternInstanceOf(CarSchemaModel(), "Pcar", ODMGModel(), "Pclass") {
+		t.Error("Pcar should instantiate Pclass")
+	}
+	if !PatternInstanceOf(CarSchemaModel(), "Psup", ODMGModel(), "Pclass") {
+		t.Error("Psup should instantiate Pclass")
+	}
+	if PatternInstanceOf(CarSchemaModel(), "Pcar", ODMGModel(), "Ptype") {
+		t.Error("Pcar should not instantiate Ptype")
+	}
+}
+
+func TestNonODMGStructureRejected(t *testing.T) {
+	// A root other than `class` is not a Pclass instance, and a node
+	// with children is not an atomic Ptype.
+	bad := NewModel(NewPattern("Weird", NewSym("foo", One(NewVar("X", AnyDomain)))))
+	if err := InstanceOf(bad, ODMGModel()); err == nil {
+		t.Error("non-class root should not instantiate ODMG")
+	}
+	if err := InstanceOf(bad, YatModel()); err != nil {
+		t.Errorf("but it is still a Yat instance: %v", err)
+	}
+}
+
+func TestOneEdgeCannotBecomeStar(t *testing.T) {
+	// "An empty labeled edge can only be replaced by a similar edge":
+	// an instance with a star edge does not instantiate a general One
+	// edge.
+	gen := NewModel(NewPattern("G", NewSym("a", One(NewSym("b")))))
+	inst := NewModel(NewPattern("I", NewSym("a", Star(NewSym("b")))))
+	if err := InstanceOf(inst, gen); err == nil {
+		t.Error("star edge should not instantiate a One edge")
+	}
+}
+
+func TestStarEdgeExpansion(t *testing.T) {
+	gen := NewModel(NewPattern("G", NewSym("a", Star(NewVar("X", AnyDomain)))))
+	// Zero, one, many children all instantiate.
+	for _, inst := range []*Pattern{
+		NewPattern("I0", NewSym("a")),
+		NewPattern("I1", NewSym("a", One(NewSym("x")))),
+		NewPattern("I3", NewSym("a", One(NewSym("x")), One(NewConst(tree.Int(1))), Star(NewSym("y")))),
+	} {
+		if err := InstanceOf(NewModel(inst), gen); err != nil {
+			t.Errorf("%s should instantiate star pattern: %v", inst.Name, err)
+		}
+	}
+	// Wrong root label does not.
+	if err := InstanceOf(NewModel(NewPattern("I", NewSym("b"))), gen); err == nil {
+		t.Error("different root should not instantiate")
+	}
+}
+
+func TestMultiStarBacktracking(t *testing.T) {
+	// General: a < -*> b, -> c, -*> d >. The matcher must place the
+	// One edge for c correctly between the two runs.
+	gen := NewModel(NewPattern("G", NewSym("a",
+		Star(NewSym("b")), One(NewSym("c")), Star(NewSym("d")))))
+	good := NewPattern("I", NewSym("a",
+		One(NewSym("b")), One(NewSym("b")), One(NewSym("c")), One(NewSym("d"))))
+	if err := InstanceOf(NewModel(good), gen); err != nil {
+		t.Errorf("backtracking match failed: %v", err)
+	}
+	noC := NewPattern("I", NewSym("a", One(NewSym("b")), One(NewSym("d"))))
+	if err := InstanceOf(NewModel(noC), gen); err == nil {
+		t.Error("missing mandatory c should fail")
+	}
+	cTwice := NewPattern("I", NewSym("a", One(NewSym("c")), One(NewSym("c"))))
+	if err := InstanceOf(NewModel(cTwice), gen); err == nil {
+		t.Error("second c matches neither b nor d run")
+	}
+}
+
+func TestVariableDomainRestriction(t *testing.T) {
+	str := KindDomain(tree.KindString)
+	gen := NewModel(NewPattern("G", NewSym("a", One(NewVar("X", str)))))
+	if err := InstanceOf(NewModel(NewPattern("I", NewSym("a", One(NewConst(tree.String("ok")))))), gen); err != nil {
+		t.Errorf("string constant should instantiate string var: %v", err)
+	}
+	if err := InstanceOf(NewModel(NewPattern("I", NewSym("a", One(NewConst(tree.Int(5)))))), gen); err == nil {
+		t.Error("int constant should not instantiate string var")
+	}
+	if err := InstanceOf(NewModel(NewPattern("I", NewSym("a", One(NewVar("Y", str))))), gen); err != nil {
+		t.Errorf("same-domain var should instantiate: %v", err)
+	}
+	if err := InstanceOf(NewModel(NewPattern("I", NewSym("a", One(NewVar("Y", AnyDomain))))), gen); err == nil {
+		t.Error("wider-domain var should not instantiate")
+	}
+}
+
+func TestSymbolDomainVariable(t *testing.T) {
+	// Rule Web4's X : (set|bag).
+	gen := NewModel(NewPattern("G", NewVar("X", SymbolDomain("set", "bag"), Star(NewVar("Y", AnyDomain)))))
+	if err := InstanceOf(NewModel(NewPattern("I", NewSym("set", One(NewSym("e"))))), gen); err != nil {
+		t.Errorf("set node should instantiate: %v", err)
+	}
+	if err := InstanceOf(NewModel(NewPattern("I", NewSym("list", One(NewSym("e"))))), gen); err == nil {
+		t.Error("list node should not instantiate (set|bag) var")
+	}
+}
+
+func TestConformsGroundData(t *testing.T) {
+	store := GolfStore()
+	c1, _ := store.Get(tree.PlainName("c1"))
+	s1, _ := store.Get(tree.PlainName("s1"))
+	schema := CarSchemaModel()
+	if !Conforms(c1, store, schema, "Pcar") {
+		t.Error("c1 should conform to Pcar")
+	}
+	if !Conforms(s1, store, schema, "Psup") {
+		t.Error("s1 should conform to Psup")
+	}
+	if Conforms(c1, store, schema, "Psup") {
+		t.Error("c1 should not conform to Psup")
+	}
+	// Break the data: zip becomes an int, Psup requires string.
+	broken := store.Clone()
+	bs1, _ := broken.Get(tree.PlainName("s1"))
+	bs1.Children[0].Children[2].Children[0].Label = tree.Int(75005)
+	if Conforms(bs1, broken, schema, "Psup") {
+		t.Error("int zip should not conform to Psup (S3:string)")
+	}
+	// But it still conforms to the ODMG model's Pclass.
+	if !Conforms(bs1, broken, ODMGModel(), "Pclass") {
+		t.Error("int zip is still ODMG-compliant")
+	}
+}
+
+func TestConformsCyclicData(t *testing.T) {
+	// Cyclic ground data (car ↔ supplier with sells back-edge) must
+	// not loop the checker. Build a cyclic schema and cyclic data.
+	str := KindDomain(tree.KindString)
+	pcar := NewPattern("Pcar",
+		NewSym("class", One(NewSym("car",
+			One(NewSym("name", One(NewVar("S1", str)))),
+			One(NewSym("suppliers", One(NewSym("set", Star(NewPatRef("Psup", true)))))),
+		))))
+	psup := NewPattern("Psup",
+		NewSym("class", One(NewSym("supplier",
+			One(NewSym("name", One(NewVar("S1", str)))),
+			One(NewSym("sells", One(NewSym("set", Star(NewPatRef("Pcar", true)))))),
+		))))
+	schema := NewModel(pcar, psup)
+
+	store := tree.NewStore()
+	store.Put(tree.PlainName("c1"), tree.Sym("class", tree.Sym("car",
+		tree.Sym("name", tree.Str("Golf")),
+		tree.Sym("suppliers", tree.Sym("set", tree.RefLeaf(tree.PlainName("s1")))),
+	)))
+	store.Put(tree.PlainName("s1"), tree.Sym("class", tree.Sym("supplier",
+		tree.Sym("name", tree.Str("VW")),
+		tree.Sym("sells", tree.Sym("set", tree.RefLeaf(tree.PlainName("c1")))),
+	)))
+	c1, _ := store.Get(tree.PlainName("c1"))
+	if !Conforms(c1, store, schema, "Pcar") {
+		t.Error("cyclic data should conform to cyclic schema")
+	}
+	if err := InstanceOf(StoreModel(store), schema); err != nil {
+		t.Errorf("cyclic store should be instance of cyclic schema: %v", err)
+	}
+}
+
+func TestBrochurePatternConformance(t *testing.T) {
+	b1 := tree.Sym("brochure",
+		tree.Sym("number", tree.IntLeaf(1)),
+		tree.Sym("title", tree.Str("Golf")),
+		tree.Sym("model", tree.IntLeaf(1995)),
+		tree.Sym("desc", tree.Str("nice")),
+		tree.Sym("spplrs",
+			tree.Sym("supplier",
+				tree.Sym("name", tree.Str("VW center")),
+				tree.Sym("address", tree.Str("Bd Lenoir, Paris"))),
+			tree.Sym("supplier",
+				tree.Sym("name", tree.Str("VW2")),
+				tree.Sym("address", tree.Str("Bd Leblanc, Paris")))),
+	)
+	if !Conforms(b1, nil, BrochureModel(), "Pbr") {
+		t.Error("well-formed brochure should conform to Pbr")
+	}
+	// Drop a mandatory element.
+	bad := tree.Sym("brochure",
+		tree.Sym("number", tree.IntLeaf(1)),
+		tree.Sym("title", tree.Str("Golf")),
+	)
+	if Conforms(bad, nil, BrochureModel(), "Pbr") {
+		t.Error("incomplete brochure should not conform")
+	}
+}
+
+func TestHTMLModelIsYatInstance(t *testing.T) {
+	if err := InstanceOf(HTMLModel(), YatModel()); err != nil {
+		t.Errorf("HTML model should be a Yat instance: %v", err)
+	}
+	if err := HTMLModel().Validate(); err != nil {
+		t.Errorf("HTML model should validate: %v", err)
+	}
+}
+
+func TestAllFixtureModelsValidate(t *testing.T) {
+	for _, m := range []struct {
+		name string
+		m    *Model
+	}{
+		{"Yat", YatModel()},
+		{"ODMG", ODMGModel()},
+		{"CarSchema", CarSchemaModel()},
+		{"Brochure", BrochureModel()},
+		{"HTML", HTMLModel()},
+		{"Golf", GolfModel()},
+	} {
+		if err := m.m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.name, err)
+		}
+	}
+}
+
+func TestInstantiationReflexive(t *testing.T) {
+	// Every fixture model is an instance of itself.
+	for _, m := range []*Model{YatModel(), ODMGModel(), CarSchemaModel(), BrochureModel()} {
+		if err := InstanceOf(m, m); err != nil {
+			t.Errorf("model not self-instance: %v", err)
+		}
+	}
+}
+
+func TestGroundPatternOnlyInstantiatesItself(t *testing.T) {
+	// "A ground pattern can only be instantiated by itself."
+	g1 := NewModel(NewPattern("g1", GroundTree(tree.Sym("a", tree.Str("x")))))
+	g2 := NewModel(NewPattern("g2", GroundTree(tree.Sym("a", tree.Str("y")))))
+	if err := InstanceOf(g1, g1); err != nil {
+		t.Errorf("ground self-instance failed: %v", err)
+	}
+	if err := InstanceOf(g2, g1); err == nil {
+		t.Error("distinct ground patterns should not instantiate each other")
+	}
+}
+
+func TestTreeInstanceOfDirect(t *testing.T) {
+	ti := GroundTree(tree.Sym("a", tree.Str("x")))
+	tg := NewSym("a", Star(NewVar("V", AnyDomain)))
+	if !TreeInstanceOf(nil, ti, nil, tg) {
+		t.Error("direct tree instance check failed")
+	}
+	if TreeInstanceOf(nil, tg, nil, ti) {
+		t.Error("reverse should fail")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := PsupPattern()
+	s := p.String()
+	for _, frag := range []string{"Psup =", "supplier", "S3 : string"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Pattern.String missing %q: %s", frag, s)
+		}
+	}
+	u := NewPattern("U", NewSym("a"), NewSym("b"))
+	if got := u.String(); got != "U = a | b" {
+		t.Errorf("union String = %q", got)
+	}
+}
+
+func TestPatternIsGround(t *testing.T) {
+	if !NewPattern("g", GroundTree(tree.Sym("a"))).IsGround() {
+		t.Error("ground pattern not detected")
+	}
+	if PcarPattern().IsGround() {
+		t.Error("Pcar is not ground")
+	}
+	if NewPattern("u", GroundTree(tree.Sym("a")), GroundTree(tree.Sym("b"))).IsGround() {
+		t.Error("union is not ground")
+	}
+}

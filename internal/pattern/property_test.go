@@ -1,0 +1,223 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"yat/internal/tree"
+)
+
+// randomGroundTree builds a random data tree without references.
+func randomGroundTree(r *rand.Rand, depth int) *tree.Node {
+	labels := []tree.Value{
+		tree.Symbol("class"), tree.Symbol("set"), tree.Symbol("a"),
+		tree.String("x"), tree.Int(int64(r.Intn(100))),
+		tree.Float(r.Float64()), tree.Bool(r.Intn(2) == 0),
+	}
+	n := tree.New(labels[r.Intn(len(labels))])
+	if depth > 0 {
+		for i := 0; i < r.Intn(4); i++ {
+			n.Add(randomGroundTree(r, depth-1))
+		}
+	}
+	return n
+}
+
+// randomStore builds a store whose later entries may reference
+// earlier ones (acyclic sharing).
+func randomStore(r *rand.Rand, n int) *tree.Store {
+	s := tree.NewStore()
+	var names []tree.Name
+	for i := 0; i < n; i++ {
+		t := randomGroundTree(r, 3)
+		// Sprinkle references to earlier entries on some leaves.
+		if len(names) > 0 {
+			t.Walk(func(m *tree.Node) bool {
+				if m.IsLeaf() && r.Intn(5) == 0 {
+					m.Label = tree.Ref{Name: names[r.Intn(len(names))]}
+				}
+				return true
+			})
+		}
+		name := tree.PlainName(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		s.Put(name, t)
+		names = append(names, name)
+	}
+	return s
+}
+
+// Property: every ground tree is an instance of the universal Yat
+// model — "one can easily map anything into a tree" (§2).
+func TestPropertyEverythingConformsToYat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	yat := YatModel()
+	for i := 0; i < 200; i++ {
+		store := randomStore(r, 3)
+		for _, e := range store.Entries() {
+			if !Conforms(e.Tree, store, yat, "Yat") {
+				t.Fatalf("iteration %d: tree does not conform to Yat: %s", i, e.Tree)
+			}
+		}
+		if err := InstanceOf(StoreModel(store), yat); err != nil {
+			t.Fatalf("iteration %d: store model not a Yat instance: %v", i, err)
+		}
+	}
+}
+
+// Property: GroundTree/ToNode round-trips every reference-free tree.
+func TestPropertyGroundRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		n := randomGroundTree(r, 4)
+		pt := GroundTree(n)
+		if !pt.IsGround() {
+			t.Fatalf("iteration %d: GroundTree not ground", i)
+		}
+		back, err := ToNode(pt)
+		if err != nil {
+			t.Fatalf("iteration %d: ToNode: %v", i, err)
+		}
+		if !n.Equal(back) {
+			t.Fatalf("iteration %d: round trip changed tree", i)
+		}
+	}
+}
+
+// Property: ground patterns only instantiate themselves ("a ground
+// pattern can only be instantiated by itself", §2).
+func TestPropertyGroundSelfInstanceOnly(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a := randomGroundTree(r, 3)
+		b := randomGroundTree(r, 3)
+		ma := NewModel(NewPattern("ga", GroundTree(a)))
+		mb := NewModel(NewPattern("gb", GroundTree(b)))
+		if err := InstanceOf(ma, ma); err != nil {
+			t.Fatalf("iteration %d: ground not self-instance: %v", i, err)
+		}
+		if a.Equal(b) {
+			continue
+		}
+		if err := InstanceOf(ma, mb); err == nil {
+			t.Fatalf("iteration %d: distinct ground trees instantiate each other:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// Property: instantiation is transitive on the sampled chain
+// ground ⊑ schema ⊑ ODMG ⊑ Yat — if X ⊑ Y and Y ⊑ Z then X ⊑ Z for
+// every pair in the chain.
+func TestPropertyInstantiationTransitiveOnChain(t *testing.T) {
+	chain := []*Model{GolfModel(), CarSchemaModel(), ODMGModel(), YatModel()}
+	for i := 0; i < len(chain); i++ {
+		for j := i; j < len(chain); j++ {
+			if err := InstanceOf(chain[i], chain[j]); err != nil {
+				t.Errorf("chain[%d] should instantiate chain[%d]: %v", i, j, err)
+			}
+		}
+	}
+}
+
+// Property: domain SubsetOf is a preorder on a sampled set of
+// domains, and Contains is monotone along it.
+func TestPropertyDomainPreorder(t *testing.T) {
+	domains := []Domain{
+		AnyDomain,
+		KindDomain(tree.KindString),
+		KindDomain(tree.KindInt),
+		KindDomain(tree.KindString, tree.KindInt),
+		KindDomain(tree.KindString, tree.KindInt, tree.KindFloat, tree.KindBool),
+		SymbolDomain("set"),
+		SymbolDomain("set", "bag"),
+		KindDomain(tree.KindSymbol),
+	}
+	values := []tree.Value{
+		tree.String("x"), tree.Int(1), tree.Float(1.5), tree.Bool(true),
+		tree.Symbol("set"), tree.Symbol("bag"), tree.Symbol("other"),
+	}
+	for _, d := range domains {
+		if !d.SubsetOf(d) {
+			t.Errorf("domain %s not reflexive", d)
+		}
+	}
+	for _, a := range domains {
+		for _, b := range domains {
+			if !a.SubsetOf(b) {
+				continue
+			}
+			// Monotonicity: everything in a is in b.
+			for _, v := range values {
+				if a.Contains(v) && !b.Contains(v) {
+					t.Errorf("%s ⊆ %s but %v only in the subset", a, b, v)
+				}
+			}
+			// Transitivity.
+			for _, c := range domains {
+				if b.SubsetOf(c) && !a.SubsetOf(c) {
+					t.Errorf("transitivity violated: %s ⊆ %s ⊆ %s", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// Property: Intersect agrees with Contains on samples.
+func TestPropertyIntersectSound(t *testing.T) {
+	domains := []Domain{
+		AnyDomain,
+		KindDomain(tree.KindString),
+		KindDomain(tree.KindString, tree.KindInt),
+		SymbolDomain("set", "bag"),
+		KindDomain(tree.KindSymbol),
+	}
+	values := []tree.Value{
+		tree.String("x"), tree.Int(1), tree.Symbol("set"), tree.Symbol("zap"), tree.Bool(false),
+	}
+	for _, a := range domains {
+		for _, b := range domains {
+			m, ok := a.Intersect(b)
+			for _, v := range values {
+				both := a.Contains(v) && b.Contains(v)
+				if !ok {
+					if both {
+						t.Errorf("%s ∩ %s reported empty but both contain %v", a, b, v)
+					}
+					continue
+				}
+				if both != m.Contains(v) {
+					t.Errorf("(%s ∩ %s = %s).Contains(%v) = %v, want %v", a, b, m, v, m.Contains(v), both)
+				}
+			}
+		}
+	}
+}
+
+// Property: the conformance checker never panics and is stable on
+// random stores with cycles.
+func TestPropertyConformsStableWithCycles(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	model := CarSchemaModel()
+	for i := 0; i < 100; i++ {
+		store := randomStore(r, 4)
+		// Introduce a cycle.
+		if store.Len() >= 2 {
+			names := store.Names()
+			first, _ := store.Get(names[0])
+			first.Walk(func(m *tree.Node) bool {
+				if m.IsLeaf() {
+					m.Label = tree.Ref{Name: names[len(names)-1]}
+					return false
+				}
+				return true
+			})
+		}
+		checker := NewConformanceChecker(store, model)
+		for _, e := range store.Entries() {
+			a := checker.Conforms(e.Tree, "Pcar")
+			b := checker.Conforms(e.Tree, "Pcar")
+			if a != b {
+				t.Fatalf("iteration %d: conformance not deterministic", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"yat/internal/tree"
+)
+
+func TestRefDomainBasics(t *testing.T) {
+	d := RefDomain("Psup")
+	if !d.IsRefPattern() || d.IsPattern() || d.IsAny() {
+		t.Errorf("classification wrong: %+v", d)
+	}
+	if d.String() != "&Psup" {
+		t.Errorf("String = %q", d.String())
+	}
+	if d.Contains(tree.Ref{Name: tree.PlainName("s1")}) {
+		t.Error("Contains cannot decide reference domains (needs a store)")
+	}
+	if !d.SubsetOf(AnyDomain) {
+		t.Error("reference domains are label domains: &P ⊆ any")
+	}
+	if !d.SubsetOf(RefDomain("Psup")) || d.SubsetOf(RefDomain("Pcar")) {
+		t.Error("ref-domain subset by name wrong")
+	}
+	if d.SubsetOf(PatternDomain("Psup")) || PatternDomain("Psup").SubsetOf(d) {
+		t.Error("ref and plain pattern domains are distinct")
+	}
+	if m, ok := d.Intersect(RefDomain("Psup")); !ok || !m.IsRefPattern() {
+		t.Error("ref ∩ same ref should succeed")
+	}
+	if _, ok := d.Intersect(PatternDomain("Psup")); ok {
+		t.Error("ref ∩ plain pattern should fail")
+	}
+}
+
+func TestRefDomainInstantiation(t *testing.T) {
+	schema := CarSchemaModel()
+	// A &Psup-typed variable instantiates Ptype (through the &Pclass
+	// branch) and the &Psup leaf itself.
+	inst := NewModel(NewPattern("I",
+		NewSym("set", Star(NewVar("X", RefDomain("Psup"))))))
+	inst = inst.Merge(schema)
+	genViaPtype := NewModel(NewPattern("G",
+		NewSym("set", Star(NewPatRef("Ptype", false))))).Merge(ODMGModel())
+	if !PatternInstanceOf(inst, "I", genViaPtype, "G") {
+		t.Error("&Psup variable should instantiate set -*> ^Ptype")
+	}
+	genViaRef := NewModel(NewPattern("G",
+		NewSym("set", Star(NewPatRef("Psup", true))))).Merge(schema)
+	if !PatternInstanceOf(inst, "I", genViaRef, "G") {
+		t.Error("&Psup variable should instantiate set -*> &Psup")
+	}
+	// But not an atom position.
+	genAtom := NewModel(NewPattern("G",
+		NewSym("set", Star(NewVar("Y", KindDomain(tree.KindString))))))
+	if PatternInstanceOf(inst, "I", genAtom, "G") {
+		t.Error("&Psup variable should not instantiate a string position")
+	}
+}
+
+func TestRefDomainAsGeneralSide(t *testing.T) {
+	schema := CarSchemaModel()
+	gen := NewModel(NewPattern("G",
+		NewSym("set", Star(NewVar("X", RefDomain("Psup")))))).Merge(schema)
+	// Ground references to conforming objects instantiate it.
+	store := GolfStore()
+	inst := StoreModel(store).Merge(schema)
+	ground := NewPattern("Iref", GroundTree(tree.Sym("set",
+		tree.RefLeaf(tree.PlainName("s1")))))
+	inst.Add(ground)
+	if !PatternInstanceOf(inst, "Iref", gen, "G") {
+		t.Error("ground &s1 should instantiate a &Psup-typed variable")
+	}
+	// A non-reference does not.
+	instBad := NewModel(NewPattern("Ibad", GroundTree(tree.Sym("set", tree.Str("x"))))).Merge(schema)
+	if PatternInstanceOf(instBad, "Ibad", gen, "G") {
+		t.Error("an atom should not instantiate a &Psup-typed variable")
+	}
+	// A &Psup pattern leaf does.
+	instRef := NewModel(NewPattern("Ileaf",
+		NewSym("set", Star(NewPatRef("Psup", true))))).Merge(schema)
+	if !PatternInstanceOf(instRef, "Ileaf", gen, "G") {
+		t.Error("&Psup leaf should instantiate a &Psup-typed variable")
+	}
+}
+
+func TestModelAndPatternRendering(t *testing.T) {
+	m := CarSchemaModel()
+	s := m.String()
+	if !strings.Contains(s, "Pcar = ") || !strings.Contains(s, "Psup = ") {
+		t.Errorf("Model.String: %s", s)
+	}
+	// Occ.String covers every indicator.
+	occs := map[Occ]string{
+		OccOne: "->", OccStar: "-*>", OccGroup: "-{}>",
+		OccOrdered: "-[...]>", OccIndex: "-#...>",
+	}
+	for occ, want := range occs {
+		if occ.String() != want {
+			t.Errorf("Occ(%d).String = %q, want %q", occ, occ.String(), want)
+		}
+	}
+	if !strings.Contains(Occ(99).String(), "Occ(99)") {
+		t.Error("unknown Occ rendering")
+	}
+	// Edge.String renders criteria and index forms.
+	e1 := Ordered(NewVar("X", AnyDomain), "A", "B")
+	if e1.String() != "-[A,B]> X" {
+		t.Errorf("ordered edge String = %q", e1.String())
+	}
+	e2 := Index("I", NewSym("v"))
+	if e2.String() != "-#I> v" {
+		t.Errorf("index edge String = %q", e2.String())
+	}
+	// ConstArg display.
+	a := ConstArg(tree.String("x"))
+	if a.Display() != `"x"` {
+		t.Errorf("ConstArg Display = %q", a.Display())
+	}
+}
+
+func TestPatternRefsCollection(t *testing.T) {
+	p := PcarPattern()
+	refs := p.Union[0].PatternRefs()
+	if len(refs) != 1 || refs[0].Name != "Psup" || !refs[0].Ref {
+		t.Errorf("PatternRefs = %+v", refs)
+	}
+}
+
+func TestTreeInstanceOfLooseDirect(t *testing.T) {
+	gen := NewVar("Data", AnyDomain)
+	inst := NewSym("anything", One(NewSym("deep")))
+	if !TreeInstanceOfLoose(nil, inst, nil, gen) {
+		t.Error("loose leaf var should match any subtree")
+	}
+	if TreeInstanceOf(nil, inst, nil, gen) {
+		t.Error("strict leaf var should not match a subtree")
+	}
+}

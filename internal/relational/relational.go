@@ -1,0 +1,439 @@
+// Package relational implements the relational database substrate of
+// the translation scenario (Figure 1): the car dealer company "stores
+// information about its dealers in a relational system". It provides
+// typed schemas, in-memory tables with insertion-ordered rows,
+// primary keys, scans with predicates, and CSV import/export — enough
+// for a wrapper to expose relational data to YAT and for workloads to
+// be generated at benchmark scale.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ColType is the type of a column.
+type ColType uint8
+
+// Column types.
+const (
+	TInt ColType = iota
+	TString
+	TFloat
+	TBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "integer"
+	case TString:
+		return "string"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "boolean"
+	default:
+		return fmt.Sprintf("ColType(%d)", uint8(t))
+	}
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a relation: its name, columns and optional primary
+// key column.
+type Schema struct {
+	Name    string
+	Columns []Column
+	Key     string // primary key column name; empty = none
+}
+
+// NewSchema builds a schema; columns are "name:type" declarations
+// (types: int, string, float, bool). The first column marked with a
+// leading '*' becomes the primary key: "*sid:int".
+func NewSchema(name string, cols ...string) (*Schema, error) {
+	s := &Schema{Name: name}
+	for _, c := range cols {
+		key := false
+		if strings.HasPrefix(c, "*") {
+			key = true
+			c = c[1:]
+		}
+		parts := strings.SplitN(c, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("relational: bad column declaration %q", c)
+		}
+		var t ColType
+		switch parts[1] {
+		case "int", "integer":
+			t = TInt
+		case "string", "text":
+			t = TString
+		case "float", "double":
+			t = TFloat
+		case "bool", "boolean":
+			t = TBool
+		default:
+			return nil, fmt.Errorf("relational: unknown column type %q", parts[1])
+		}
+		s.Columns = append(s.Columns, Column{Name: parts[0], Type: t})
+		if key {
+			if s.Key != "" {
+				return nil, fmt.Errorf("relational: schema %s has two key columns", name)
+			}
+			s.Key = parts[0]
+		}
+	}
+	if len(s.Columns) == 0 {
+		return nil, fmt.Errorf("relational: schema %s has no columns", name)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(name string, cols ...string) *Schema {
+	s, err := NewSchema(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Col returns the index of a column.
+func (s *Schema) Col(name string) (int, bool) {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// String renders the schema in the paper's notation:
+// suppliers[sid: integer, name: string, ...].
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = c.Name + ": " + c.Type.String()
+	}
+	return s.Name + "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Value is one relational field value. Exactly one of the fields is
+// meaningful, per the column type; Null marks SQL NULL.
+type Value struct {
+	Null bool
+	I    int64
+	S    string
+	F    float64
+	B    bool
+}
+
+// IntV returns an integer value.
+func IntV(i int64) Value { return Value{I: i} }
+
+// StrV returns a string value.
+func StrV(s string) Value { return Value{S: s} }
+
+// FloatV returns a float value.
+func FloatV(f float64) Value { return Value{F: f} }
+
+// BoolV returns a boolean value.
+func BoolV(b bool) Value { return Value{B: b} }
+
+// NullV returns the NULL value.
+func NullV() Value { return Value{Null: true} }
+
+// Render formats the value for its column type.
+func (v Value) Render(t ColType) string {
+	if v.Null {
+		return "NULL"
+	}
+	switch t {
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TString:
+		return v.S
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TBool:
+		return strconv.FormatBool(v.B)
+	}
+	return ""
+}
+
+// Equal compares two values under a column type.
+func (v Value) Equal(o Value, t ColType) bool {
+	if v.Null || o.Null {
+		return v.Null && o.Null
+	}
+	switch t {
+	case TInt:
+		return v.I == o.I
+	case TString:
+		return v.S == o.S
+	case TFloat:
+		return v.F == o.F
+	case TBool:
+		return v.B == o.B
+	}
+	return false
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Table is an in-memory relation: schema plus rows in insertion
+// order, with a hash index on the primary key when one is declared.
+type Table struct {
+	Schema *Schema
+	rows   []Row
+	index  map[string]int // key render -> row position
+}
+
+// NewTable returns an empty table over the schema.
+func NewTable(s *Schema) *Table {
+	t := &Table{Schema: s}
+	if s.Key != "" {
+		t.index = map[string]int{}
+	}
+	return t
+}
+
+// Len reports the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Insert appends a row, enforcing arity, basic typing (NULLs pass)
+// and key uniqueness.
+func (t *Table) Insert(r Row) error {
+	if len(r) != len(t.Schema.Columns) {
+		return fmt.Errorf("relational: %s: row arity %d, want %d", t.Schema.Name, len(r), len(t.Schema.Columns))
+	}
+	if t.index != nil {
+		ki, _ := t.Schema.Col(t.Schema.Key)
+		k := r[ki].Render(t.Schema.Columns[ki].Type)
+		if _, dup := t.index[k]; dup {
+			return fmt.Errorf("relational: %s: duplicate key %s", t.Schema.Name, k)
+		}
+		t.index[k] = len(t.rows)
+	}
+	t.rows = append(t.rows, r)
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (t *Table) MustInsert(vals ...Value) {
+	if err := t.Insert(Row(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns the rows in insertion order; the slice must not be
+// modified.
+func (t *Table) Rows() []Row { return t.rows }
+
+// Lookup finds a row by primary key value.
+func (t *Table) Lookup(key Value) (Row, bool) {
+	if t.index == nil {
+		return nil, false
+	}
+	ki, _ := t.Schema.Col(t.Schema.Key)
+	i, ok := t.index[key.Render(t.Schema.Columns[ki].Type)]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[i], true
+}
+
+// Select returns the rows satisfying the predicate.
+func (t *Table) Select(pred func(Row) bool) []Row {
+	var out []Row
+	for _, r := range t.rows {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Project returns the values of one column across all rows.
+func (t *Table) Project(col string) ([]Value, error) {
+	i, ok := t.Schema.Col(col)
+	if !ok {
+		return nil, fmt.Errorf("relational: %s has no column %s", t.Schema.Name, col)
+	}
+	out := make([]Value, len(t.rows))
+	for j, r := range t.rows {
+		out[j] = r[i]
+	}
+	return out, nil
+}
+
+// Database is a named set of tables.
+type Database struct {
+	names  []string
+	tables map[string]*Table
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: map[string]*Table{}}
+}
+
+// Create adds an empty table for the schema.
+func (db *Database) Create(s *Schema) (*Table, error) {
+	if _, dup := db.tables[s.Name]; dup {
+		return nil, fmt.Errorf("relational: table %s already exists", s.Name)
+	}
+	t := NewTable(s)
+	db.tables[s.Name] = t
+	db.names = append(db.names, s.Name)
+	return t, nil
+}
+
+// MustCreate is Create that panics on error.
+func (db *Database) MustCreate(s *Schema) *Table {
+	t, err := db.Create(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns a table by name.
+func (db *Database) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Names returns the table names in creation order.
+func (db *Database) Names() []string { return append([]string(nil), db.names...) }
+
+// String lists the schemas.
+func (db *Database) String() string {
+	var b strings.Builder
+	for _, n := range db.names {
+		b.WriteString(db.tables[n].Schema.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DealerSchemas returns the §3.2 schemas of the paper:
+//
+//	suppliers[sid: integer, name: string, city: string, address: string, tel: string]
+//	cars[cid: integer, broch_num: integer]
+//	sales[sid: integer, cid: integer, year: integer, sold: integer]
+//
+// (broch_num is integer here: the SGML wrapper types numeric PCDATA,
+// so the Rule 3 join compares like with like.)
+func DealerSchemas() (suppliers, cars, sales *Schema) {
+	return MustSchema("suppliers", "*sid:int", "name:string", "city:string", "address:string", "tel:string"),
+		MustSchema("cars", "*cid:int", "broch_num:int"),
+		MustSchema("sales", "sid:int", "cid:int", "year:int", "sold:int")
+}
+
+// ParseCSV loads comma-separated rows into a table; values are parsed
+// per the column types. Lines are trimmed; empty lines skipped. No
+// quoting: the workloads we generate avoid commas in strings.
+func (t *Table) ParseCSV(data string) error {
+	for ln, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(t.Schema.Columns) {
+			return fmt.Errorf("relational: %s line %d: %d fields, want %d",
+				t.Schema.Name, ln+1, len(fields), len(t.Schema.Columns))
+		}
+		row := make(Row, len(fields))
+		for i, f := range fields {
+			f = strings.TrimSpace(f)
+			if f == "NULL" {
+				row[i] = NullV()
+				continue
+			}
+			switch t.Schema.Columns[i].Type {
+			case TInt:
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return fmt.Errorf("relational: %s line %d col %s: %v", t.Schema.Name, ln+1, t.Schema.Columns[i].Name, err)
+				}
+				row[i] = IntV(v)
+			case TFloat:
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return fmt.Errorf("relational: %s line %d col %s: %v", t.Schema.Name, ln+1, t.Schema.Columns[i].Name, err)
+				}
+				row[i] = FloatV(v)
+			case TBool:
+				v, err := strconv.ParseBool(f)
+				if err != nil {
+					return fmt.Errorf("relational: %s line %d col %s: %v", t.Schema.Name, ln+1, t.Schema.Columns[i].Name, err)
+				}
+				row[i] = BoolV(v)
+			default:
+				row[i] = StrV(f)
+			}
+		}
+		if err := t.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the table as comma-separated rows (no header).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	for _, r := range t.rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.Render(t.Schema.Columns[i].Type)
+		}
+		b.WriteString(strings.Join(parts, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedBy returns the rows ordered by a column (stable; NULLs
+// first). The receiver is unchanged.
+func (t *Table) SortedBy(col string) ([]Row, error) {
+	i, ok := t.Schema.Col(col)
+	if !ok {
+		return nil, fmt.Errorf("relational: %s has no column %s", t.Schema.Name, col)
+	}
+	out := make([]Row, len(t.rows))
+	copy(out, t.rows)
+	typ := t.Schema.Columns[i].Type
+	sort.SliceStable(out, func(a, b int) bool {
+		va, vb := out[a][i], out[b][i]
+		switch {
+		case va.Null:
+			return !vb.Null
+		case vb.Null:
+			return false
+		}
+		switch typ {
+		case TInt:
+			return va.I < vb.I
+		case TString:
+			return va.S < vb.S
+		case TFloat:
+			return va.F < vb.F
+		case TBool:
+			return !va.B && vb.B
+		}
+		return false
+	})
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema("suppliers", "*sid:int", "name:string", "rate:float", "active:bool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Key != "sid" || len(s.Columns) != 4 {
+		t.Errorf("schema = %+v", s)
+	}
+	if i, ok := s.Col("rate"); !ok || i != 2 {
+		t.Errorf("Col(rate) = %d, %v", i, ok)
+	}
+	if _, ok := s.Col("none"); ok {
+		t.Error("Col(none) found")
+	}
+	want := "suppliers[sid: integer, name: string, rate: float, active: boolean]"
+	if s.String() != want {
+		t.Errorf("String = %q, want %q", s.String(), want)
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	cases := [][]string{
+		{"bad"},              // no type
+		{"a:unknown"},        // unknown type
+		{"*a:int", "*b:int"}, // two keys
+		{},                   // no columns
+	}
+	for _, cols := range cases {
+		if _, err := NewSchema("t", cols...); err == nil {
+			t.Errorf("NewSchema(%v) should fail", cols)
+		}
+	}
+}
+
+func TestTableInsertAndLookup(t *testing.T) {
+	s := MustSchema("sup", "*sid:int", "name:string")
+	tb := NewTable(s)
+	tb.MustInsert(IntV(1), StrV("VW"))
+	tb.MustInsert(IntV(2), StrV("Audi"))
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	row, ok := tb.Lookup(IntV(2))
+	if !ok || row[1].S != "Audi" {
+		t.Errorf("Lookup = %v, %v", row, ok)
+	}
+	if _, ok := tb.Lookup(IntV(9)); ok {
+		t.Error("Lookup(9) found")
+	}
+	// Duplicate key rejected.
+	if err := tb.Insert(Row{IntV(1), StrV("dup")}); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	// Wrong arity rejected.
+	if err := tb.Insert(Row{IntV(3)}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestSelectAndProject(t *testing.T) {
+	s := MustSchema("sales", "sid:int", "sold:int")
+	tb := NewTable(s)
+	for i := int64(1); i <= 5; i++ {
+		tb.MustInsert(IntV(i), IntV(i*10))
+	}
+	big := tb.Select(func(r Row) bool { return r[1].I > 25 })
+	if len(big) != 3 {
+		t.Errorf("Select = %d rows", len(big))
+	}
+	vals, err := tb.Project("sold")
+	if err != nil || len(vals) != 5 || vals[2].I != 30 {
+		t.Errorf("Project = %v, %v", vals, err)
+	}
+	if _, err := tb.Project("none"); err == nil {
+		t.Error("Project(none) should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustSchema("mixed", "i:int", "s:string", "f:float", "b:bool")
+	tb := NewTable(s)
+	src := "1,hello,2.5,true\n2,world,-1.25,false\n3,NULL,NULL,NULL\n"
+	if err := tb.ParseCSV(src); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if !tb.Rows()[2][1].Null {
+		t.Error("NULL not parsed")
+	}
+	out := tb.CSV()
+	tb2 := NewTable(s)
+	if err := tb2.ParseCSV(out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tb.Rows() {
+		for j := range tb.Rows()[i] {
+			if !tb.Rows()[i][j].Equal(tb2.Rows()[i][j], s.Columns[j].Type) {
+				t.Errorf("row %d col %d differs after round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	s := MustSchema("t", "i:int")
+	for _, src := range []string{"notanint\n", "1,2\n", "true\n"} {
+		tb := NewTable(s)
+		if err := tb.ParseCSV(src); err == nil {
+			t.Errorf("ParseCSV(%q) should fail", src)
+		}
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	sup, cars, sales := DealerSchemas()
+	db.MustCreate(sup)
+	db.MustCreate(cars)
+	db.MustCreate(sales)
+	if len(db.Names()) != 3 {
+		t.Fatalf("Names = %v", db.Names())
+	}
+	if _, err := db.Create(sup); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, ok := db.Table("suppliers"); !ok {
+		t.Error("Table(suppliers) missing")
+	}
+	if !strings.Contains(db.String(), "suppliers[sid: integer") {
+		t.Errorf("String = %q", db.String())
+	}
+}
+
+func TestSortedBy(t *testing.T) {
+	s := MustSchema("t", "n:string", "v:int")
+	tb := NewTable(s)
+	tb.MustInsert(StrV("zeta"), IntV(3))
+	tb.MustInsert(StrV("alpha"), IntV(1))
+	tb.MustInsert(NullV(), IntV(2))
+	rows, err := tb.SortedBy("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0][0].Null || rows[1][0].S != "alpha" || rows[2][0].S != "zeta" {
+		t.Errorf("sorted order wrong: %v", rows)
+	}
+	// Original order intact.
+	if tb.Rows()[0][0].S != "zeta" {
+		t.Error("SortedBy mutated table")
+	}
+	if _, err := tb.SortedBy("none"); err == nil {
+		t.Error("SortedBy(none) should fail")
+	}
+	byInt, _ := tb.SortedBy("v")
+	if byInt[0][1].I != 1 || byInt[2][1].I != 3 {
+		t.Errorf("int sort wrong: %v", byInt)
+	}
+}
+
+func TestValueEqualAndRender(t *testing.T) {
+	if !IntV(5).Equal(IntV(5), TInt) || IntV(5).Equal(IntV(6), TInt) {
+		t.Error("int equality wrong")
+	}
+	if !NullV().Equal(NullV(), TString) || NullV().Equal(StrV(""), TString) {
+		t.Error("null equality wrong")
+	}
+	if IntV(5).Render(TInt) != "5" || StrV("x").Render(TString) != "x" ||
+		FloatV(2.5).Render(TFloat) != "2.5" || BoolV(true).Render(TBool) != "true" ||
+		NullV().Render(TInt) != "NULL" {
+		t.Error("render wrong")
+	}
+}

@@ -1,0 +1,366 @@
+// Package sgml implements the SGML substrate of the translation
+// scenario (Figure 1): the car descriptions "the company sells" live
+// in SGML documents governed by a DTD. The package parses DTDs
+// (element declarations with content models), parses documents, and
+// validates documents against their DTD — the services the SGML
+// import wrapper builds on.
+package sgml
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Occurrence is a content-model repetition indicator.
+type Occurrence uint8
+
+// The SGML occurrence indicators.
+const (
+	One        Occurrence = iota // exactly one
+	ZeroOrMore                   // *
+	OneOrMore                    // +
+	Optional                     // ?
+)
+
+func (o Occurrence) String() string {
+	switch o {
+	case ZeroOrMore:
+		return "*"
+	case OneOrMore:
+		return "+"
+	case Optional:
+		return "?"
+	default:
+		return ""
+	}
+}
+
+// ModelKind discriminates content-model nodes.
+type ModelKind uint8
+
+// Content model node kinds.
+const (
+	MPCData ModelKind = iota // #PCDATA
+	MEmpty                   // EMPTY
+	MAny                     // ANY
+	MName                    // element reference
+	MSeq                     // (a, b, c)
+	MChoice                  // (a | b | c)
+)
+
+// Model is a content model node.
+type Model struct {
+	Kind  ModelKind
+	Name  string   // MName
+	Items []*Model // MSeq, MChoice
+	Occ   Occurrence
+}
+
+// String renders the model in DTD syntax.
+func (m *Model) String() string {
+	var body string
+	switch m.Kind {
+	case MPCData:
+		body = "(#PCDATA)"
+	case MEmpty:
+		body = "EMPTY"
+	case MAny:
+		body = "ANY"
+	case MName:
+		body = m.Name
+	case MSeq, MChoice:
+		sep := ", "
+		if m.Kind == MChoice {
+			sep = " | "
+		}
+		parts := make([]string, len(m.Items))
+		for i, it := range m.Items {
+			parts[i] = it.String()
+		}
+		body = "(" + strings.Join(parts, sep) + ")"
+	}
+	return body + m.Occ.String()
+}
+
+// DTD is a parsed document type definition: the document root element
+// and a content model per element, in declaration order.
+type DTD struct {
+	Root     string
+	order    []string
+	elements map[string]*Model
+}
+
+// Element returns the content model of an element.
+func (d *DTD) Element(name string) (*Model, bool) {
+	m, ok := d.elements[name]
+	return m, ok
+}
+
+// Elements returns the declared element names in order.
+func (d *DTD) Elements() []string { return append([]string(nil), d.order...) }
+
+// String renders the DTD.
+func (d *DTD) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE %s [\n", d.Root)
+	for _, n := range d.order {
+		fmt.Fprintf(&b, "<!ELEMENT %s %s>\n", n, declString(d.elements[n]))
+	}
+	b.WriteString("]>\n")
+	return b.String()
+}
+
+// declString renders a content model at declaration position, where
+// a bare element reference must be parenthesized to parse back.
+func declString(m *Model) string {
+	if m.Kind == MName {
+		return "(" + m.Name + ")" + m.Occ.String()
+	}
+	return m.String()
+}
+
+// ParseDTD reads a document type definition:
+//
+//	<!DOCTYPE brochure [
+//	<!ELEMENT brochure (number, title, model, desc, spplrs)>
+//	<!ELEMENT number   (#PCDATA)>
+//	<!ELEMENT spplrs   (supplier)*>
+//	...
+//	]>
+func ParseDTD(src string) (*DTD, error) {
+	p := &dtdParser{src: src}
+	p.skipSpace()
+	if !p.consume("<!DOCTYPE") {
+		return nil, p.errorf("expected <!DOCTYPE")
+	}
+	root, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.consume("[") {
+		return nil, p.errorf("expected [ after document type name")
+	}
+	d := &DTD{Root: root, elements: map[string]*Model{}}
+	for {
+		p.skipSpace()
+		if p.consume("]") {
+			break
+		}
+		if !p.consume("<!ELEMENT") {
+			return nil, p.errorf("expected <!ELEMENT or ]")
+		}
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		model, err := p.model()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.consume(">") {
+			return nil, p.errorf("expected > closing element declaration for %s", name)
+		}
+		if _, dup := d.elements[name]; dup {
+			return nil, p.errorf("element %s declared twice", name)
+		}
+		d.elements[name] = model
+		d.order = append(d.order, name)
+	}
+	p.skipSpace()
+	p.consume(">") // optional closing of the DOCTYPE
+	p.skipSpace()
+	if p.off < len(p.src) {
+		return nil, p.errorf("trailing input after DTD")
+	}
+	if _, ok := d.elements[root]; !ok {
+		return nil, fmt.Errorf("sgml: root element %s is not declared", root)
+	}
+	// Every referenced element must be declared.
+	for _, n := range d.order {
+		var missing string
+		walkModel(d.elements[n], func(m *Model) {
+			if m.Kind == MName {
+				if _, ok := d.elements[m.Name]; !ok && missing == "" {
+					missing = m.Name
+				}
+			}
+		})
+		if missing != "" {
+			return nil, fmt.Errorf("sgml: element %s references undeclared element %s", n, missing)
+		}
+	}
+	return d, nil
+}
+
+// MustParseDTD is ParseDTD that panics on error.
+func MustParseDTD(src string) *DTD {
+	d, err := ParseDTD(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func walkModel(m *Model, fn func(*Model)) {
+	fn(m)
+	for _, it := range m.Items {
+		walkModel(it, fn)
+	}
+}
+
+type dtdParser struct {
+	src string
+	off int
+}
+
+func (p *dtdParser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sgml: dtd offset %d: %s", p.off, fmt.Sprintf(format, args...))
+}
+
+func (p *dtdParser) skipSpace() {
+	for p.off < len(p.src) {
+		r, w := utf8.DecodeRuneInString(p.src[p.off:])
+		if strings.HasPrefix(p.src[p.off:], "<!--") {
+			end := strings.Index(p.src[p.off:], "-->")
+			if end < 0 {
+				p.off = len(p.src)
+				return
+			}
+			p.off += end + 3
+			continue
+		}
+		if !unicode.IsSpace(r) {
+			return
+		}
+		p.off += w
+	}
+}
+
+func (p *dtdParser) consume(tok string) bool {
+	if strings.HasPrefix(p.src[p.off:], tok) {
+		p.off += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *dtdParser) name() (string, error) {
+	p.skipSpace()
+	start := p.off
+	for p.off < len(p.src) {
+		r, w := utf8.DecodeRuneInString(p.src[p.off:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' {
+			p.off += w
+			continue
+		}
+		break
+	}
+	if p.off == start {
+		return "", p.errorf("expected name")
+	}
+	return p.src[start:p.off], nil
+}
+
+// model parses a content model.
+func (p *dtdParser) model() (*Model, error) {
+	p.skipSpace()
+	if p.consume("EMPTY") {
+		return &Model{Kind: MEmpty}, nil
+	}
+	if p.consume("ANY") {
+		return &Model{Kind: MAny}, nil
+	}
+	if !p.consume("(") {
+		return nil, p.errorf("expected ( starting content model")
+	}
+	return p.group()
+}
+
+// group parses the inside of a parenthesized group, including the
+// closing parenthesis and an optional occurrence indicator.
+func (p *dtdParser) group() (*Model, error) {
+	var items []*Model
+	sep := byte(0)
+	for {
+		p.skipSpace()
+		var item *Model
+		switch {
+		case p.consume("#PCDATA"):
+			item = &Model{Kind: MPCData}
+		case p.consume("("):
+			sub, err := p.group()
+			if err != nil {
+				return nil, err
+			}
+			item = sub
+		default:
+			n, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			item = &Model{Kind: MName, Name: n}
+			item.Occ = p.occurrence()
+		}
+		items = append(items, item)
+		p.skipSpace()
+		switch {
+		case p.consume(","):
+			if sep == '|' {
+				return nil, p.errorf("mixed , and | in one group")
+			}
+			sep = ','
+		case p.consume("|"):
+			if sep == ',' {
+				return nil, p.errorf("mixed , and | in one group")
+			}
+			sep = '|'
+		case p.consume(")"):
+			occ := p.occurrence()
+			if len(items) == 1 && items[0].Occ == One {
+				// (x)* is the repetition of x itself.
+				items[0].Occ = occ
+				return items[0], nil
+			}
+			kind := MSeq
+			if sep == '|' {
+				kind = MChoice
+			}
+			return &Model{Kind: kind, Items: items, Occ: occ}, nil
+		default:
+			return nil, p.errorf("expected , | or ) in content model")
+		}
+	}
+}
+
+func (p *dtdParser) occurrence() Occurrence {
+	switch {
+	case p.consume("*"):
+		return ZeroOrMore
+	case p.consume("+"):
+		return OneOrMore
+	case p.consume("?"):
+		return Optional
+	default:
+		return One
+	}
+}
+
+// BrochureDTDSource is the paper's §3.1 brochure DTD.
+const BrochureDTDSource = `<!DOCTYPE brochure [
+<!ELEMENT brochure (number, title, model, desc, spplrs)>
+<!ELEMENT number   (#PCDATA)>
+<!ELEMENT title    (#PCDATA)>
+<!ELEMENT model    (#PCDATA)>
+<!ELEMENT desc     (#PCDATA)>
+<!ELEMENT spplrs   (supplier)*>
+<!ELEMENT supplier (name, address)>
+<!ELEMENT name     (#PCDATA)>
+<!ELEMENT address  (#PCDATA)>
+]>`
+
+// BrochureDTD returns the parsed brochure DTD.
+func BrochureDTD() *DTD { return MustParseDTD(BrochureDTDSource) }

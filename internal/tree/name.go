@@ -1,0 +1,169 @@
+package tree
+
+import (
+	"sort"
+	"strings"
+)
+
+// Name identifies a tree in a Store. Plain names (b1, s1, Rsuppliers)
+// have an empty Args slice; Skolem-generated names carry the functor
+// and the argument values that minted them, e.g. Psup("VW center").
+type Name struct {
+	Functor string
+	Args    []Value
+}
+
+// PlainName returns a Name with no Skolem arguments.
+func PlainName(functor string) Name { return Name{Functor: functor} }
+
+// SkolemName returns a Name minted by a Skolem functor application.
+func SkolemName(functor string, args ...Value) Name {
+	return Name{Functor: functor, Args: args}
+}
+
+// IsPlain reports whether the name has no Skolem arguments.
+func (n Name) IsPlain() bool { return len(n.Args) == 0 }
+
+// String renders the name in concrete syntax: `Psup("VW center")`.
+func (n Name) String() string {
+	if n.IsPlain() {
+		return n.Functor
+	}
+	parts := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		parts[i] = a.Display()
+	}
+	return n.Functor + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Key returns a canonical map key for the name. Two names are equal
+// exactly when their keys are equal.
+func (n Name) Key() string {
+	if n.IsPlain() {
+		return n.Functor
+	}
+	var b strings.Builder
+	b.WriteString(n.Functor)
+	b.WriteByte('(')
+	for i, a := range n.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Prefix with the kind so that Symbol(x) and String("x")
+		// mint distinct identities.
+		b.WriteString(a.Kind().String())
+		b.WriteByte(':')
+		b.WriteString(a.Display())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two names identify the same tree.
+func (n Name) Equal(o Name) bool { return n.Key() == o.Key() }
+
+// Store holds named trees. It preserves insertion order for
+// deterministic iteration and output.
+type Store struct {
+	byKey map[string]int
+	items []StoreEntry
+}
+
+// StoreEntry is one named tree in a Store.
+type StoreEntry struct {
+	Name Name
+	Tree *Node
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byKey: make(map[string]int)}
+}
+
+// Len reports the number of named trees.
+func (s *Store) Len() int { return len(s.items) }
+
+// Put binds name to t, replacing any previous binding. It reports
+// whether the name was already present.
+func (s *Store) Put(name Name, t *Node) (replaced bool) {
+	key := name.Key()
+	if i, ok := s.byKey[key]; ok {
+		s.items[i].Tree = t
+		return true
+	}
+	s.byKey[key] = len(s.items)
+	s.items = append(s.items, StoreEntry{Name: name, Tree: t})
+	return false
+}
+
+// Get returns the tree bound to name.
+func (s *Store) Get(name Name) (*Node, bool) {
+	i, ok := s.byKey[name.Key()]
+	if !ok {
+		return nil, false
+	}
+	return s.items[i].Tree, true
+}
+
+// GetKey returns the tree bound to the canonical key (as produced by
+// Name.Key).
+func (s *Store) GetKey(key string) (*Node, bool) {
+	i, ok := s.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	return s.items[i].Tree, true
+}
+
+// Has reports whether name is bound.
+func (s *Store) Has(name Name) bool {
+	_, ok := s.byKey[name.Key()]
+	return ok
+}
+
+// Delete removes the binding for name, if present.
+func (s *Store) Delete(name Name) {
+	key := name.Key()
+	i, ok := s.byKey[key]
+	if !ok {
+		return
+	}
+	delete(s.byKey, key)
+	s.items = append(s.items[:i], s.items[i+1:]...)
+	for j := i; j < len(s.items); j++ {
+		s.byKey[s.items[j].Name.Key()] = j
+	}
+}
+
+// Entries returns the entries in insertion order. The returned slice
+// must not be modified.
+func (s *Store) Entries() []StoreEntry { return s.items }
+
+// Names returns all names in insertion order.
+func (s *Store) Names() []Name {
+	out := make([]Name, len(s.items))
+	for i, e := range s.items {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// SortedEntries returns the entries sorted by canonical key, for
+// deterministic output independent of rule firing order.
+func (s *Store) SortedEntries() []StoreEntry {
+	out := make([]StoreEntry, len(s.items))
+	copy(out, s.items)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Name.Key() < out[j].Name.Key()
+	})
+	return out
+}
+
+// Clone returns a deep copy of the store (trees included).
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for _, e := range s.items {
+		c.Put(e.Name, e.Tree.Clone())
+	}
+	return c
+}

@@ -1,0 +1,328 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse reads one ground tree in concrete syntax:
+//
+//	tree  := value [ '<' tree (',' tree)* '>' ]
+//	value := symbol | "string" | int | float | true | false | '&' name
+//	name  := symbol [ '(' value (',' value)* ')' ]
+//
+// Example: class < supplier < name < "VW center" > > >
+// The paper's arrow notation `a -> b` is accepted as sugar for a
+// single-child bracket: `a < b >`.
+func Parse(input string) (*Node, error) {
+	p := &groundParser{src: input}
+	p.next()
+	n, err := p.parseTree()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != gtEOF {
+		return nil, p.errorf("unexpected trailing input %q", p.tok.text)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(input string) *Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ParseStore reads a sequence of named trees:
+//
+//	entry := name ':' tree
+//
+// separated by whitespace. Example:
+//
+//	b1: brochure < number < 1 >, title < "Golf" > >
+//	s1: class < supplier >
+func ParseStore(input string) (*Store, error) {
+	p := &groundParser{src: input}
+	p.next()
+	store := NewStore()
+	for p.tok.kind != gtEOF {
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(gtColon); err != nil {
+			return nil, err
+		}
+		t, err := p.parseTree()
+		if err != nil {
+			return nil, err
+		}
+		store.Put(name, t)
+	}
+	return store, nil
+}
+
+// FormatStore renders a store in the syntax accepted by ParseStore.
+func FormatStore(s *Store) string {
+	var b strings.Builder
+	for _, e := range s.Entries() {
+		b.WriteString(e.Name.String())
+		b.WriteString(": ")
+		b.WriteString(e.Tree.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+type gtKind uint8
+
+const (
+	gtEOF gtKind = iota
+	gtSymbol
+	gtString
+	gtInt
+	gtFloat
+	gtLAngle
+	gtRAngle
+	gtLParen
+	gtRParen
+	gtComma
+	gtColon
+	gtAmp
+	gtArrow
+)
+
+type gtToken struct {
+	kind gtKind
+	text string
+	pos  int
+}
+
+type groundParser struct {
+	src string
+	off int
+	tok gtToken
+}
+
+func (p *groundParser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("tree: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *groundParser) next() {
+	for p.off < len(p.src) {
+		r, w := utf8.DecodeRuneInString(p.src[p.off:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		p.off += w
+	}
+	start := p.off
+	if p.off >= len(p.src) {
+		p.tok = gtToken{kind: gtEOF, pos: start}
+		return
+	}
+	r, w := utf8.DecodeRuneInString(p.src[p.off:])
+	switch {
+	case r == '<':
+		p.off += w
+		p.tok = gtToken{kind: gtLAngle, text: "<", pos: start}
+	case r == '>':
+		p.off += w
+		p.tok = gtToken{kind: gtRAngle, text: ">", pos: start}
+	case r == '(':
+		p.off += w
+		p.tok = gtToken{kind: gtLParen, text: "(", pos: start}
+	case r == ')':
+		p.off += w
+		p.tok = gtToken{kind: gtRParen, text: ")", pos: start}
+	case r == ',':
+		p.off += w
+		p.tok = gtToken{kind: gtComma, text: ",", pos: start}
+	case r == ':':
+		p.off += w
+		p.tok = gtToken{kind: gtColon, text: ":", pos: start}
+	case r == '&':
+		p.off += w
+		p.tok = gtToken{kind: gtAmp, text: "&", pos: start}
+	case r == '-' && strings.HasPrefix(p.src[p.off:], "->"):
+		p.off += 2
+		p.tok = gtToken{kind: gtArrow, text: "->", pos: start}
+	case r == '"':
+		p.off += w
+		for p.off < len(p.src) {
+			c := p.src[p.off]
+			if c == '\\' {
+				p.off += 2
+				continue
+			}
+			if c == '"' {
+				p.off++
+				break
+			}
+			p.off++
+		}
+		p.tok = gtToken{kind: gtString, text: p.src[start:p.off], pos: start}
+	case r == '-' || r == '+' || unicode.IsDigit(r):
+		p.off += w
+		isFloat := false
+		for p.off < len(p.src) {
+			c := p.src[p.off]
+			if c == '.' || c == 'e' || c == 'E' {
+				isFloat = true
+				p.off++
+				if p.off < len(p.src) && (p.src[p.off] == '+' || p.src[p.off] == '-') {
+					p.off++
+				}
+				continue
+			}
+			if c >= '0' && c <= '9' {
+				p.off++
+				continue
+			}
+			break
+		}
+		kind := gtInt
+		if isFloat {
+			kind = gtFloat
+		}
+		p.tok = gtToken{kind: kind, text: p.src[start:p.off], pos: start}
+	case unicode.IsLetter(r) || r == '_':
+		p.off += w
+		for p.off < len(p.src) {
+			r, w := utf8.DecodeRuneInString(p.src[p.off:])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+				p.off += w
+				continue
+			}
+			break
+		}
+		p.tok = gtToken{kind: gtSymbol, text: p.src[start:p.off], pos: start}
+	default:
+		p.tok = gtToken{kind: gtEOF, text: string(r), pos: start}
+		p.off += w
+	}
+}
+
+func (p *groundParser) expect(k gtKind) error {
+	if p.tok.kind != k {
+		return p.errorf("expected token kind %d, found %q", k, p.tok.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *groundParser) parseValue() (Value, error) {
+	switch p.tok.kind {
+	case gtSymbol:
+		text := p.tok.text
+		p.next()
+		switch text {
+		case "true":
+			return Bool(true), nil
+		case "false":
+			return Bool(false), nil
+		}
+		return Symbol(text), nil
+	case gtString:
+		s, err := strconv.Unquote(p.tok.text)
+		if err != nil {
+			return nil, p.errorf("bad string literal %s: %v", p.tok.text, err)
+		}
+		p.next()
+		return String(s), nil
+	case gtInt:
+		i, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %s: %v", p.tok.text, err)
+		}
+		p.next()
+		return Int(i), nil
+	case gtFloat:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %s: %v", p.tok.text, err)
+		}
+		p.next()
+		return Float(f), nil
+	case gtAmp:
+		p.next()
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		return Ref{Name: name}, nil
+	default:
+		return nil, p.errorf("expected value, found %q", p.tok.text)
+	}
+}
+
+func (p *groundParser) parseName() (Name, error) {
+	if p.tok.kind != gtSymbol {
+		return Name{}, p.errorf("expected name, found %q", p.tok.text)
+	}
+	functor := p.tok.text
+	p.next()
+	if p.tok.kind != gtLParen {
+		return PlainName(functor), nil
+	}
+	p.next()
+	var args []Value
+	for {
+		v, err := p.parseValue()
+		if err != nil {
+			return Name{}, err
+		}
+		args = append(args, v)
+		if p.tok.kind == gtComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(gtRParen); err != nil {
+		return Name{}, err
+	}
+	return SkolemName(functor, args...), nil
+}
+
+func (p *groundParser) parseTree() (*Node, error) {
+	v, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	n := New(v)
+	switch p.tok.kind {
+	case gtLAngle:
+		p.next()
+		for {
+			c, err := p.parseTree()
+			if err != nil {
+				return nil, err
+			}
+			n.Add(c)
+			if p.tok.kind == gtComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(gtRAngle); err != nil {
+			return nil, err
+		}
+	case gtArrow:
+		// `a -> b` sugar: single child.
+		p.next()
+		c, err := p.parseTree()
+		if err != nil {
+			return nil, err
+		}
+		n.Add(c)
+	}
+	return n, nil
+}

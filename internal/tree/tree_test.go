@@ -1,0 +1,512 @@
+package tree
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		disp string
+	}{
+		{Symbol("class"), KindSymbol, "class"},
+		{String("Golf"), KindString, `"Golf"`},
+		{Int(1995), KindInt, "1995"},
+		{Float(1.5), KindFloat, "1.5"},
+		{Float(2), KindFloat, "2.0"},
+		{Bool(true), KindBool, "true"},
+		{Ref{Name: PlainName("s1")}, KindRef, "&s1"},
+		{Ref{Name: SkolemName("Psup", String("VW"))}, KindRef, `&Psup("VW")`},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.Display() != c.disp {
+			t.Errorf("%v: display = %q, want %q", c.v, c.v.Display(), c.disp)
+		}
+		if !c.v.Equal(c.v) {
+			t.Errorf("%v not Equal to itself", c.v)
+		}
+	}
+}
+
+func TestValueEqualCrossKind(t *testing.T) {
+	vals := []Value{Symbol("x"), String("x"), Int(1), Float(1), Bool(true)}
+	for i, a := range vals {
+		for j, b := range vals {
+			if (i == j) != a.Equal(b) {
+				t.Errorf("Equal(%v, %v) = %v, want %v", a, b, a.Equal(b), i == j)
+			}
+		}
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// Mixed numerics compare numerically.
+	if Compare(Int(2), Float(3.5)) >= 0 {
+		t.Error("Int(2) should sort before Float(3.5)")
+	}
+	if Compare(Float(10), Int(2)) <= 0 {
+		t.Error("Float(10) should sort after Int(2)")
+	}
+	// Strings order lexicographically.
+	if Compare(String("VW center"), String("VW2")) >= 0 {
+		t.Error(`"VW center" < "VW2" expected (space < '2')`)
+	}
+	// Equal values compare 0.
+	for _, v := range []Value{Symbol("a"), String("a"), Int(1), Float(1.5), Bool(false)} {
+		if Compare(v, v) != 0 {
+			t.Errorf("Compare(%v, %v) != 0", v, v)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Compare(String(a), String(b)) == -Compare(String(b), String(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameKeyInjective(t *testing.T) {
+	names := []Name{
+		PlainName("Psup"),
+		SkolemName("Psup", String("VW")),
+		SkolemName("Psup", Symbol("VW")),
+		SkolemName("Psup", String("VW"), Int(1)),
+		SkolemName("Pcar", String("VW")),
+		SkolemName("Psup", Int(1)),
+		SkolemName("Psup", Float(1)),
+	}
+	seen := map[string]Name{}
+	for _, n := range names {
+		if prev, ok := seen[n.Key()]; ok {
+			t.Errorf("key collision between %v and %v: %q", prev, n, n.Key())
+		}
+		seen[n.Key()] = n
+	}
+}
+
+func TestNameString(t *testing.T) {
+	n := SkolemName("Psup", String("VW center"), Int(3))
+	if got, want := n.String(), `Psup("VW center", 3)`; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if PlainName("b1").String() != "b1" {
+		t.Errorf("plain name String wrong")
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	if s.Len() != 0 {
+		t.Fatal("new store not empty")
+	}
+	a := Sym("a")
+	b := Sym("b")
+	if replaced := s.Put(PlainName("x"), a); replaced {
+		t.Error("first Put reported replaced")
+	}
+	if replaced := s.Put(PlainName("x"), b); !replaced {
+		t.Error("second Put did not report replaced")
+	}
+	got, ok := s.Get(PlainName("x"))
+	if !ok || got != b {
+		t.Error("Get did not return replacement value")
+	}
+	if !s.Has(PlainName("x")) || s.Has(PlainName("y")) {
+		t.Error("Has wrong")
+	}
+	s.Put(PlainName("y"), a)
+	s.Put(PlainName("z"), a)
+	s.Delete(PlainName("y"))
+	if s.Has(PlainName("y")) {
+		t.Error("Delete did not remove")
+	}
+	// Index map must stay consistent after delete.
+	if got, ok := s.Get(PlainName("z")); !ok || got != a {
+		t.Error("Get(z) broken after Delete(y)")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0].Functor != "x" || names[1].Functor != "z" {
+		t.Errorf("Names order wrong: %v", names)
+	}
+}
+
+func TestStoreInsertionOrderAndSorted(t *testing.T) {
+	s := NewStore()
+	s.Put(PlainName("zz"), Sym("a"))
+	s.Put(PlainName("aa"), Sym("b"))
+	ents := s.Entries()
+	if ents[0].Name.Functor != "zz" {
+		t.Error("Entries should preserve insertion order")
+	}
+	sorted := s.SortedEntries()
+	if sorted[0].Name.Functor != "aa" {
+		t.Error("SortedEntries should sort by key")
+	}
+	// Sorting must not disturb the original.
+	if s.Entries()[0].Name.Functor != "zz" {
+		t.Error("SortedEntries mutated the store")
+	}
+}
+
+func TestStoreClone(t *testing.T) {
+	s := NewStore()
+	s.Put(PlainName("x"), Sym("root", Str("leaf")))
+	c := s.Clone()
+	orig, _ := s.Get(PlainName("x"))
+	copy, _ := c.Get(PlainName("x"))
+	if !orig.Equal(copy) {
+		t.Fatal("clone not equal")
+	}
+	copy.Children[0].Label = String("changed")
+	if orig.Equal(copy) {
+		t.Fatal("clone shares structure with original")
+	}
+}
+
+func TestNodeConstruction(t *testing.T) {
+	n := Sym("brochure",
+		Sym("number", IntLeaf(1)),
+		Sym("title", Str("Golf")),
+	)
+	if n.Size() != 5 {
+		t.Errorf("Size = %d, want 5", n.Size())
+	}
+	if n.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", n.Depth())
+	}
+	if n.IsLeaf() {
+		t.Error("root is not a leaf")
+	}
+	if !n.Children[0].Children[0].IsLeaf() {
+		t.Error("number child should be leaf")
+	}
+}
+
+func TestNodeEqualAndClone(t *testing.T) {
+	a := Sym("car", Sym("name", Str("Golf")), Sym("year", IntLeaf(1995)))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Children[1].Children[0].Label = Int(1996)
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	// Order matters.
+	c := Sym("car", Sym("year", IntLeaf(1995)), Sym("name", Str("Golf")))
+	if a.Equal(c) {
+		t.Fatal("children order should be significant")
+	}
+}
+
+func TestNodeKeyMatchesEqual(t *testing.T) {
+	trees := []*Node{
+		Sym("a"),
+		Sym("a", Sym("b")),
+		Sym("a", Sym("b"), Sym("c")),
+		Sym("a", Sym("b", Sym("c"))),
+		Str("a"),
+		Sym("a", Str("b")),
+		RefLeaf(PlainName("a")),
+	}
+	for i, x := range trees {
+		for j, y := range trees {
+			if (x.Key() == y.Key()) != x.Equal(y) {
+				t.Errorf("Key/Equal disagree for trees %d, %d", i, j)
+			}
+		}
+	}
+}
+
+func TestNodeKeyDistinguishesNesting(t *testing.T) {
+	// a<b<c>> vs a<b,c> — same node multiset, different shape.
+	x := Sym("a", Sym("b", Sym("c")))
+	y := Sym("a", Sym("b"), Sym("c"))
+	if x.Key() == y.Key() {
+		t.Error("keys should differ for different nesting")
+	}
+}
+
+func TestWalkPreorderAndPrune(t *testing.T) {
+	n := Sym("r", Sym("a", Sym("a1")), Sym("b"))
+	var seen []string
+	n.Walk(func(m *Node) bool {
+		seen = append(seen, m.Label.Display())
+		return m.Label.Display() != "a" // prune below a
+	})
+	want := []string{"r", "a", "b"}
+	if !reflect.DeepEqual(seen, want) {
+		t.Errorf("walk order = %v, want %v", seen, want)
+	}
+}
+
+func TestRefs(t *testing.T) {
+	n := Sym("set",
+		RefLeaf(SkolemName("Psup", String("VW"))),
+		Sym("mid", RefLeaf(PlainName("s2"))),
+		RefLeaf(SkolemName("Psup", String("VW"))),
+	)
+	refs := n.Refs()
+	if len(refs) != 3 {
+		t.Fatalf("Refs len = %d, want 3", len(refs))
+	}
+	if refs[1].Functor != "s2" {
+		t.Errorf("Refs order wrong: %v", refs)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	n := Sym("class", Sym("supplier", Sym("name", Str("VW center"))))
+	want := `class < supplier < name < "VW center" > > >`
+	if n.String() != want {
+		t.Errorf("String = %q, want %q", n.String(), want)
+	}
+	if got := Sym("x").String(); got != "x" {
+		t.Errorf("leaf String = %q", got)
+	}
+}
+
+func TestIndentRendering(t *testing.T) {
+	n := Sym("a", Sym("b", Str("c")))
+	got := n.Indent()
+	want := "a\n  b\n    \"c\"\n"
+	if got != want {
+		t.Errorf("Indent = %q, want %q", got, want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		`class < supplier < name < "VW center" >, city < "Paris" >, zip < 75005 > > >`,
+		`x`,
+		`brochure < number < 1 >, title < "Golf" >, model < 1995 > >`,
+		`set < &Psup("VW center"), &Psup("VW2") >`,
+		`m < row < 1.5, -2 >, flag < true >, other < false > >`,
+	}
+	for _, in := range inputs {
+		n, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		again, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q → %q: %v", in, n.String(), err)
+		}
+		if !n.Equal(again) {
+			t.Errorf("round trip changed tree: %q → %q", in, again.String())
+		}
+	}
+}
+
+func TestParseArrowSugar(t *testing.T) {
+	a, err := Parse(`class -> supplier -> name -> "VW"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MustParse(`class < supplier < name < "VW" > > >`)
+	if !a.Equal(b) {
+		t.Errorf("arrow sugar mismatch: %s vs %s", a, b)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`a <`,
+		`a < b`,
+		`a < b, >`,
+		`a > b`,
+		`&`,
+		`"unterminated`,
+		`a < b > trailing`,
+		`a(1`, // name syntax only valid after &
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseStore(t *testing.T) {
+	src := `
+		b1: brochure < number < 1 >, title < "Golf" > >
+		s1: class < supplier >
+		Psup("VW"): class < supplier < name < "VW" > > >
+	`
+	s, err := ParseStore(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if _, ok := s.Get(SkolemName("Psup", String("VW"))); !ok {
+		t.Error("skolem-named entry not found")
+	}
+	// Round trip through FormatStore.
+	s2, err := ParseStore(FormatStore(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Entries() {
+		other, ok := s2.Get(e.Name)
+		if !ok || !other.Equal(e.Tree) {
+			t.Errorf("entry %v lost in round trip", e.Name)
+		}
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	n := MustParse(`nums < -5, 3.25, 1e3, -2.5e-2 >`)
+	want := []Value{Int(-5), Float(3.25), Float(1000), Float(-0.025)}
+	for i, w := range want {
+		if !n.Children[i].Label.Equal(w) {
+			t.Errorf("child %d = %v, want %v", i, n.Children[i].Label, w)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	n := MustParse(`s < "line\nbreak \"quoted\"" >`)
+	got := n.Children[0].Label.(String)
+	if string(got) != "line\nbreak \"quoted\"" {
+		t.Errorf("escape handling wrong: %q", string(got))
+	}
+}
+
+// randomTree builds a pseudo-random tree for property tests.
+func randomTree(r *rand.Rand, depth int) *Node {
+	labels := []Value{
+		Symbol("a"), Symbol("b"), Symbol("class"), String("x"),
+		String("VW center"), Int(int64(r.Intn(100))), Float(r.Float64()),
+		Bool(r.Intn(2) == 0),
+	}
+	n := New(labels[r.Intn(len(labels))])
+	if depth > 0 {
+		for i := 0; i < r.Intn(4); i++ {
+			n.Add(randomTree(r, depth-1))
+		}
+	}
+	return n
+}
+
+func TestPropertyParsePrintRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		n := randomTree(r, 4)
+		out, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("iteration %d: parse(%q): %v", i, n.String(), err)
+		}
+		if !n.Equal(out) {
+			t.Fatalf("iteration %d: round trip changed %q into %q", i, n.String(), out.String())
+		}
+	}
+}
+
+func TestPropertyCloneEqualAndIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		n := randomTree(r, 4)
+		c := n.Clone()
+		if !n.Equal(c) {
+			t.Fatal("clone not equal")
+		}
+		if n.Key() != c.Key() {
+			t.Fatal("clone key mismatch")
+		}
+	}
+}
+
+func TestPropertyCompareNodeTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var trees []*Node
+	for i := 0; i < 30; i++ {
+		trees = append(trees, randomTree(r, 3))
+	}
+	for _, a := range trees {
+		if CompareNode(a, a) != 0 {
+			t.Fatal("CompareNode(a,a) != 0")
+		}
+		for _, b := range trees {
+			if CompareNode(a, b) != -CompareNode(b, a) {
+				t.Fatalf("antisymmetry violated for %s / %s", a, b)
+			}
+			if (CompareNode(a, b) == 0) != a.Equal(b) {
+				t.Fatalf("Compare==0 vs Equal disagree for %s / %s", a, b)
+			}
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	s := NewStore()
+	s.Put(PlainName("b1"), Sym("brochure", Sym("title", Str("Golf"))))
+	dot := Dot(s.Entries(), "demo")
+	for _, frag := range []string{"digraph yat", `"brochure"`, `"title"`, `"\"Golf\""`, "b1:"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("dot output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	if AtomString(String("Golf")) != "Golf" {
+		t.Error("String atom should not be quoted")
+	}
+	if AtomString(Int(5)) != "5" {
+		t.Error("Int atom display")
+	}
+}
+
+func TestIsAtom(t *testing.T) {
+	if IsAtom(Symbol("x")) || IsAtom(Ref{Name: PlainName("a")}) {
+		t.Error("symbols/refs are not atoms")
+	}
+	for _, v := range []Value{String("s"), Int(1), Float(1), Bool(true)} {
+		if !IsAtom(v) {
+			t.Errorf("%v should be an atom", v)
+		}
+	}
+}
+
+func TestEqualValuesCrossKindNumeric(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Float(1), true},
+		{Float(2.5), Float(2.5), true},
+		{Int(1), Int(1), true},
+		{Int(1), Float(1.5), false},
+		{Int(1), String("1"), false},
+		{Symbol("a"), Symbol("a"), true},
+		{Bool(true), Int(1), false},
+	}
+	for _, c := range cases {
+		if got := EqualValues(c.a, c.b); got != c.want {
+			t.Errorf("EqualValues(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := EqualValues(c.b, c.a); got != c.want {
+			t.Errorf("EqualValues(%v, %v) = %v (asymmetric)", c.b, c.a, got)
+		}
+	}
+}

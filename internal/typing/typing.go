@@ -1,0 +1,355 @@
+// Package typing implements the optional type system of YATL (§3.5):
+// inference of a program's signature M_IN ↦ M_OUT from its rules,
+// and conformance checks of the inferred models against more general
+// models through the instantiation relation.
+//
+// Typing is "in no way constraining": programs run without it; these
+// checks are invoked on demand by the user, by the composition
+// machinery (§4.3 requires the output model of the first program to
+// instantiate the input model of the second) and by the library.
+package typing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"yat/internal/engine"
+	"yat/internal/pattern"
+	"yat/internal/tree"
+	"yat/internal/yatl"
+)
+
+// Signature is the couple of input/output models of a conversion
+// program, noted M_IN ↦ M_OUT in the paper.
+type Signature struct {
+	In  *pattern.Model
+	Out *pattern.Model
+}
+
+// String renders the signature.
+func (s *Signature) String() string {
+	return "IN:\n" + indent(s.In.String()) + "OUT:\n" + indent(s.Out.String())
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Infer computes the signature of a program by considering (i) its
+// input and output patterns, (ii) predicate and function signatures
+// and (iii) variable domains (§3.5). reg supplies the function
+// signatures; nil uses the default registry.
+func Infer(prog *yatl.Program, reg *engine.Registry) (*Signature, error) {
+	if reg == nil {
+		reg = engine.NewRegistry()
+	}
+	sig := &Signature{In: pattern.NewModel(), Out: pattern.NewModel()}
+
+	inBranches := map[string][]*pattern.PTree{}
+	var inOrder []string
+	outBranches := map[string][]*pattern.PTree{}
+	var outOrder []string
+
+	for _, r := range prog.Rules {
+		domains, err := ruleDomains(r, reg)
+		if err != nil {
+			return nil, err
+		}
+		for _, bp := range r.Body {
+			t := applyDomains(bp.Tree.Clone(), domains)
+			name := bp.Var
+			if _, ok := inBranches[name]; !ok {
+				inOrder = append(inOrder, name)
+			}
+			inBranches[name] = addBranch(inBranches[name], t)
+		}
+		if r.Exception || r.Head.Tree == nil {
+			continue
+		}
+		t := modelView(applyDomains(r.Head.Tree.Clone(), domains))
+		name := r.Head.Functor
+		if _, ok := outBranches[name]; !ok {
+			outOrder = append(outOrder, name)
+		}
+		outBranches[name] = addBranch(outBranches[name], t)
+	}
+	for _, name := range inOrder {
+		sig.In.Add(pattern.NewPattern(name, inBranches[name]...))
+	}
+	for _, name := range outOrder {
+		sig.Out.Add(pattern.NewPattern(name, outBranches[name]...))
+	}
+	// The models declared by the program provide the resolution
+	// context for pattern-domain variables and pattern references
+	// (e.g. P2 : Ptype in the Web rules): add their patterns to the
+	// input model as auxiliary definitions where no inferred pattern
+	// claims the name. (Output patterns only reference Skolem
+	// functors the program itself defines, so M_OUT needs no such
+	// context.)
+	for _, decl := range prog.Models {
+		for _, p := range decl.Model.Patterns() {
+			if !sig.In.Has(p.Name) {
+				sig.In.Add(p.Clone())
+			}
+		}
+	}
+	return sig, nil
+}
+
+// addBranch appends a union branch, dropping exact duplicates (the
+// same body pattern shared by several rules contributes once).
+func addBranch(branches []*pattern.PTree, t *pattern.PTree) []*pattern.PTree {
+	for _, b := range branches {
+		if b.String() == t.String() {
+			return branches
+		}
+	}
+	return append(branches, t)
+}
+
+// ruleDomains infers, for every variable of the rule, the domain
+// implied by explicit annotations, function signatures and
+// predicates. An empty intersection is a type error (e.g. comparing
+// a city name with an integer).
+func ruleDomains(r *yatl.Rule, reg *engine.Registry) (map[string]pattern.Domain, error) {
+	doms := map[string]pattern.Domain{}
+	restrict := func(v string, d pattern.Domain) error {
+		cur, ok := doms[v]
+		if !ok {
+			cur = pattern.AnyDomain
+		}
+		merged, compatible := cur.Intersect(d)
+		if !compatible {
+			return fmt.Errorf("typing: rule %s: variable %s has incompatible domains %s and %s",
+				r.Name, v, cur, d)
+		}
+		doms[v] = merged
+		return nil
+	}
+
+	// (iii) explicit variable domains in body and head trees.
+	collect := func(t *pattern.PTree) error {
+		var err error
+		t.Walk(func(pt *pattern.PTree) bool {
+			if v, ok := pt.Label.(pattern.Var); ok && !v.Domain.IsAny() {
+				if e := restrict(v.Name, v.Domain); e != nil && err == nil {
+					err = e
+				}
+			}
+			return true
+		})
+		return err
+	}
+	for _, bp := range r.Body {
+		if err := collect(bp.Tree); err != nil {
+			return nil, err
+		}
+	}
+	if r.Head.Tree != nil {
+		if err := collect(r.Head.Tree); err != nil {
+			return nil, err
+		}
+	}
+
+	// (ii) function signatures: argument and result types.
+	applyCall := func(name string, args []yatl.Operand, resultVar string) error {
+		f, ok := reg.Lookup(name)
+		if !ok {
+			return fmt.Errorf("typing: rule %s: unknown external function %s", r.Name, name)
+		}
+		if len(args) != len(f.Params) {
+			return fmt.Errorf("typing: rule %s: %s expects %d arguments, got %d",
+				r.Name, name, len(f.Params), len(args))
+		}
+		for i, a := range args {
+			if !a.IsVar {
+				if !f.Params[i].Accepts(a.Const) {
+					return fmt.Errorf("typing: rule %s: %s argument %d: constant %s outside parameter type",
+						r.Name, name, i+1, a.Const.Display())
+				}
+				continue
+			}
+			if len(f.Params[i].Kinds) > 0 {
+				if err := restrict(a.Var, pattern.KindDomain(f.Params[i].Kinds...)); err != nil {
+					return err
+				}
+			}
+		}
+		if resultVar != "" && len(f.Result.Kinds) > 0 {
+			if err := restrict(resultVar, pattern.KindDomain(f.Result.Kinds...)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, l := range r.Lets {
+		if err := applyCall(l.Func, l.Args, l.Var); err != nil {
+			return nil, err
+		}
+	}
+
+	// (ii) predicates: a comparison against a constant restricts the
+	// variable to the constant's comparison class.
+	for _, p := range r.Preds {
+		if p.IsCall() {
+			if err := applyCall(p.Call, p.Args, ""); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := restrictByComparison(p.Left, p.Right, restrict); err != nil {
+			return nil, err
+		}
+		if err := restrictByComparison(p.Right, p.Left, restrict); err != nil {
+			return nil, err
+		}
+	}
+	return doms, nil
+}
+
+func restrictByComparison(v, other yatl.Operand, restrict func(string, pattern.Domain) error) error {
+	if !v.IsVar || other.IsVar {
+		return nil
+	}
+	switch other.Const.Kind() {
+	case tree.KindInt, tree.KindFloat:
+		return restrict(v.Var, pattern.KindDomain(tree.KindInt, tree.KindFloat))
+	case tree.KindString:
+		return restrict(v.Var, pattern.KindDomain(tree.KindString))
+	case tree.KindBool:
+		return restrict(v.Var, pattern.KindDomain(tree.KindBool))
+	}
+	return nil
+}
+
+// applyDomains rewrites every variable label with its inferred
+// domain.
+func applyDomains(t *pattern.PTree, doms map[string]pattern.Domain) *pattern.PTree {
+	t.Walk(func(pt *pattern.PTree) bool {
+		if v, ok := pt.Label.(pattern.Var); ok {
+			if d, found := doms[v.Name]; found {
+				pt.Label = pattern.Var{Name: v.Name, Domain: d}
+			}
+		}
+		return true
+	})
+	return t
+}
+
+// modelView turns a head tree into a model pattern tree: Skolem
+// arguments are stripped from pattern references (the model speaks of
+// patterns, not identities) and the collection-construction edges
+// ({} ordered, index) weaken to the model's star indicator.
+func modelView(t *pattern.PTree) *pattern.PTree {
+	if ref, ok := t.Label.(pattern.PatRef); ok {
+		t.Label = pattern.PatRef{Name: ref.Name, Ref: ref.Ref}
+	}
+	for i := range t.Edges {
+		e := &t.Edges[i]
+		switch e.Occ {
+		case pattern.OccGroup, pattern.OccOrdered, pattern.OccIndex:
+			e.Occ = pattern.OccStar
+			e.OrderBy = nil
+			e.Index = ""
+		}
+		modelView(e.To)
+	}
+	return t
+}
+
+// AnnotateRule returns a copy of the rule whose head and body trees
+// carry the inferred variable domains (explicit annotations ∩
+// function signatures ∩ predicate restrictions). The compose package
+// matches the second program's bodies against annotated producer
+// heads so that pattern-domain checks (P2 : Ptype) see the real
+// types.
+func AnnotateRule(r *yatl.Rule, reg *engine.Registry) (*yatl.Rule, error) {
+	if reg == nil {
+		reg = engine.NewRegistry()
+	}
+	doms, err := ruleDomains(r, reg)
+	if err != nil {
+		return nil, err
+	}
+	c := r.Clone()
+	if c.Head.Tree != nil {
+		applyDomains(c.Head.Tree, doms)
+	}
+	for i := range c.Body {
+		applyDomains(c.Body[i].Tree, doms)
+	}
+	return c, nil
+}
+
+// CheckOutput verifies that the program's inferred output model is an
+// instance of the given general model — e.g. "check that a program
+// generates car and supplier objects compliant with a given ODMG
+// schema or, more generally, with the ODMG model" (§3.5).
+func CheckOutput(prog *yatl.Program, reg *engine.Registry, gen *pattern.Model) error {
+	sig, err := Infer(prog, reg)
+	if err != nil {
+		return err
+	}
+	return pattern.InstanceOf(sig.Out, gen)
+}
+
+// CheckInput verifies that the program's inferred input model is an
+// instance of the given general model.
+func CheckInput(prog *yatl.Program, reg *engine.Registry, gen *pattern.Model) error {
+	sig, err := Infer(prog, reg)
+	if err != nil {
+		return err
+	}
+	return pattern.InstanceOf(sig.In, gen)
+}
+
+// Compatible reports whether prg1 and prg2 can be composed (§4.3):
+// the output model of prg1 must be an instance of the input model of
+// prg2.
+func Compatible(prg1, prg2 *yatl.Program, reg *engine.Registry) error {
+	sig1, err := Infer(prg1, reg)
+	if err != nil {
+		return fmt.Errorf("typing: inferring signature of %s: %w", prg1.Name, err)
+	}
+	sig2, err := Infer(prg2, reg)
+	if err != nil {
+		return fmt.Errorf("typing: inferring signature of %s: %w", prg2.Name, err)
+	}
+	if err := pattern.InstanceOf(sig1.Out, sig2.In); err != nil {
+		return fmt.Errorf("typing: %s and %s are not composable: %w", prg1.Name, prg2.Name, err)
+	}
+	return nil
+}
+
+// Coverage reports which patterns of the declared input model are not
+// matched by any rule body — data the program would silently ignore
+// (the situation the §3.5 exception rule detects at run time).
+func Coverage(prog *yatl.Program, declared *pattern.Model) []string {
+	sig, err := Infer(prog, engine.NewRegistry())
+	if err != nil {
+		return []string{fmt.Sprintf("(inference failed: %v)", err)}
+	}
+	var uncovered []string
+	for _, p := range declared.Patterns() {
+		matched := false
+		for _, q := range sig.In.Patterns() {
+			for _, branchP := range p.Union {
+				for _, branchQ := range q.Union {
+					if pattern.TreeInstanceOfLoose(declared, branchP, sig.In, branchQ) {
+						matched = true
+					}
+				}
+			}
+		}
+		if !matched {
+			uncovered = append(uncovered, p.Name)
+		}
+	}
+	sort.Strings(uncovered)
+	return uncovered
+}

@@ -1,0 +1,295 @@
+package typing
+
+import (
+	"strings"
+	"testing"
+
+	"yat/internal/pattern"
+	"yat/internal/tree"
+	"yat/internal/yatl"
+)
+
+// annotatedSGMLToODMG is the §3.1 program with explicit string
+// domains on the PCDATA variables, making the inferred output model
+// ODMG-compliant (experiment E12).
+const annotatedSGMLToODMG = yatl.AnnotatedSGMLToODMGSource
+
+func TestInferSignatureRule1(t *testing.T) {
+	prog := yatl.MustParse("program p\n" + yatl.Rule1Source)
+	sig, err := Infer(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One input pattern (Pbr), one output pattern (Psup).
+	if sig.In.Len() != 1 || !sig.In.Has("Pbr") {
+		t.Errorf("In = %v", sig.In.Names())
+	}
+	if sig.Out.Len() != 1 || !sig.Out.Has("Psup") {
+		t.Errorf("Out = %v", sig.Out.Names())
+	}
+	// "The type of Add is given by the signature of functions city
+	// and zip, that of Year by the > predicate."
+	pbr, _ := sig.In.Get("Pbr")
+	src := pbr.String()
+	if !strings.Contains(src, "Add : string") {
+		t.Errorf("Add should be inferred string:\n%s", src)
+	}
+	if !strings.Contains(src, "Year : int|float") {
+		t.Errorf("Year should be inferred numeric:\n%s", src)
+	}
+	// C and Z in the output take the function result types.
+	psup, _ := sig.Out.Get("Psup")
+	out := psup.String()
+	if !strings.Contains(out, "C : string") || !strings.Contains(out, "Z : int") {
+		t.Errorf("output domains wrong:\n%s", out)
+	}
+}
+
+func TestInferredInputInstanceOfBrochureModel(t *testing.T) {
+	prog := yatl.MustParse(yatl.SGMLToODMGSource)
+	sig, err := Infer(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pattern.InstanceOf(sig.In, pattern.BrochureModel()); err != nil {
+		t.Errorf("inferred input should instantiate the brochure model: %v", err)
+	}
+	if err := pattern.InstanceOf(sig.In, pattern.YatModel()); err != nil {
+		t.Errorf("inferred input should instantiate Yat: %v", err)
+	}
+}
+
+func TestCheckOutputAgainstODMG(t *testing.T) {
+	// With PCDATA variables annotated as strings the program
+	// provably emits ODMG-compliant objects.
+	annotated := yatl.MustParse(annotatedSGMLToODMG)
+	if err := CheckOutput(annotated, nil, pattern.ODMGModel()); err != nil {
+		t.Errorf("annotated program should type against ODMG: %v", err)
+	}
+	// Unannotated, the title variable is unrestricted and the check
+	// fails — typing is optional but honest.
+	plain := yatl.MustParse(yatl.SGMLToODMGSource)
+	if err := CheckOutput(plain, nil, pattern.ODMGModel()); err == nil {
+		t.Error("unannotated program should not type against ODMG")
+	}
+}
+
+func TestCheckOutputAgainstCarSchemaFailsOnZip(t *testing.T) {
+	// The paper's own example: Rule 1 computes zip as an integer
+	// while the Car Schema's Psup declares S3 : string. The checker
+	// catches the mismatch.
+	annotated := yatl.MustParse(annotatedSGMLToODMG)
+	if err := CheckOutput(annotated, nil, pattern.CarSchemaModel()); err == nil {
+		t.Error("int zip should not conform to Psup's S3 : string")
+	}
+}
+
+func TestInferEmptyDomainIsError(t *testing.T) {
+	src := `
+program p
+rule R {
+  head F(X) = out -> C
+  from X = in -> Y
+  where Y > 10
+  let C = city(Y)
+}
+`
+	// Y is numeric (predicate) and string (city parameter): empty.
+	if _, err := Infer(yatl.MustParse(src), nil); err == nil {
+		t.Error("contradictory domains should fail inference")
+	}
+}
+
+func TestInferUnknownFunction(t *testing.T) {
+	src := `
+program p
+rule R {
+  head F(X) = out -> C
+  from X = in -> Y
+  let C = frobnicate(Y)
+}
+`
+	if _, err := Infer(yatl.MustParse(src), nil); err == nil {
+		t.Error("unknown function should fail inference")
+	}
+}
+
+func TestInferWrongArity(t *testing.T) {
+	src := `
+program p
+rule R {
+  head F(X) = out -> C
+  from X = in -> Y
+  let C = city(Y, Y)
+}
+`
+	if _, err := Infer(yatl.MustParse(src), nil); err == nil {
+		t.Error("wrong arity should fail inference")
+	}
+}
+
+func TestCompatibleComposition(t *testing.T) {
+	// SGML → ODMG composes with ODMG → HTML (§4.3): the output of
+	// the first instantiates the input of the second.
+	first := yatl.MustParse(annotatedSGMLToODMG)
+	second := yatl.MustParse(yatl.WebProgramSource)
+	if err := Compatible(first, second, nil); err != nil {
+		t.Errorf("programs should be composable: %v", err)
+	}
+	// The reverse composition is not compatible.
+	if err := Compatible(second, first, nil); err == nil {
+		t.Error("HTML output should not feed the SGML-consuming program")
+	}
+}
+
+func TestWebProgramSignature(t *testing.T) {
+	sig, err := Infer(yatl.MustParse(yatl.WebProgramSource), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Pclass", "Pany", "Ptup", "Pcoll", "Pseq", "Pobj", "Ptype"} {
+		if !sig.In.Has(name) {
+			t.Errorf("input model missing %s", name)
+		}
+	}
+	for _, name := range []string{"HtmlPage", "HtmlElement"} {
+		if !sig.Out.Has(name) {
+			t.Errorf("output model missing %s", name)
+		}
+	}
+	// The output model must be a Yat instance (everything is).
+	if err := pattern.InstanceOf(sig.Out, pattern.YatModel()); err != nil {
+		t.Errorf("Web output should instantiate Yat: %v", err)
+	}
+	// Web rules 2–6 contribute the HtmlElement branches; Web3 and
+	// Web4 share the same head shape (ul of li), so four distinct
+	// branches remain.
+	elem, _ := sig.Out.Get("HtmlElement")
+	if len(elem.Union) != 4 {
+		t.Errorf("HtmlElement union = %d branches, want 4", len(elem.Union))
+	}
+}
+
+func TestModelViewWeakensCollectionEdges(t *testing.T) {
+	prog := yatl.MustParse("program p\n" + yatl.Rule4Source)
+	sig, err := Infer(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, _ := sig.Out.Get("PsupList")
+	s := lst.String()
+	if strings.Contains(s, "-[") {
+		t.Errorf("ordered edges should weaken to star in the model view: %s", s)
+	}
+	if !strings.Contains(s, "-*> &Psup") {
+		t.Errorf("expected star edge to &Psup: %s", s)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	prog := yatl.MustParse(yatl.SGMLToODMGSource)
+	declared := pattern.NewModel(pattern.BrochurePattern(), pattern.NewPattern("Porder",
+		pattern.NewSym("order", pattern.One(pattern.NewVar("X", pattern.AnyDomain)))))
+	uncovered := Coverage(prog, declared)
+	if len(uncovered) != 1 || uncovered[0] != "Porder" {
+		t.Errorf("uncovered = %v, want [Porder]", uncovered)
+	}
+}
+
+func TestSharedBodyPatternDeduplicated(t *testing.T) {
+	// Rules 1 and 2 share the Pbr body pattern; the inferred input
+	// model should have a single branch for it (not per rule)... the
+	// Sup rule's inferred domains differ (Year numeric), so two
+	// branches remain; with identical rules the branch is shared.
+	src := "program p\n" + yatl.Rule2Source + strings.Replace(yatl.Rule2Source, "rule Car", "rule Car2", 1)
+	src = strings.Replace(src, "Pcar(Pbr)", "Pcar2(Pbr)", 1)
+	// Keep both rules but give the second a distinct functor to avoid
+	// identical outputs.
+	prog := yatl.MustParse(src)
+	sig, err := Infer(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbr, _ := sig.In.Get("Pbr")
+	if len(pbr.Union) != 1 {
+		t.Errorf("identical body patterns should share one branch, got %d", len(pbr.Union))
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	sig, err := Infer(yatl.MustParse("program p\n"+yatl.Rule1Source), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sig.String()
+	if !strings.Contains(s, "IN:") || !strings.Contains(s, "OUT:") || !strings.Contains(s, "Psup") {
+		t.Errorf("signature rendering: %s", s)
+	}
+}
+
+func TestPredicateConstantRestriction(t *testing.T) {
+	src := `
+program p
+rule R {
+  head F(X) = out < -> A, -> B, -> C >
+  from X = in < -> a -> A, -> b -> B, -> c -> C >
+  where A > 10
+  where B == "x"
+  where C != true
+}
+`
+	sig, err := Infer(yatl.MustParse(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := sig.Out.Get("F")
+	s := f.String()
+	for _, frag := range []string{"A : int|float", "B : string", "C : bool"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %q in %s", frag, s)
+		}
+	}
+	_ = tree.Int(0) // keep import
+}
+
+func TestAnnotateRule(t *testing.T) {
+	prog := yatl.MustParse("program p\n" + yatl.Rule1Source)
+	r, _ := prog.Rule("Sup")
+	annotated, err := AnnotateRule(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := annotated.String()
+	for _, frag := range []string{"Add : string", "Year : int|float", "C : string", "Z : int"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("annotated rule missing %q:\n%s", frag, s)
+		}
+	}
+	// The original is untouched.
+	if strings.Contains(r.String(), "Add : string") {
+		t.Error("AnnotateRule mutated its input")
+	}
+	// Inference failures propagate.
+	bad := yatl.MustParseRule(`rule B {
+	  head F(X) = out -> C
+	  from X = in -> Y
+	  let C = ghostfunc(Y)
+	}`)
+	if _, err := AnnotateRule(bad, nil); err == nil {
+		t.Error("unknown function should fail annotation")
+	}
+}
+
+func TestInferExceptionRuleContributesInputOnly(t *testing.T) {
+	prog := yatl.MustParse("program p\n" + yatl.Rule1Source + yatl.ExceptionRuleSource)
+	sig, err := Infer(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig.In.Has("Pany") {
+		t.Error("exception body missing from input model")
+	}
+	if sig.Out.Len() != 1 {
+		t.Errorf("exception rule should add no output pattern: %v", sig.Out.Names())
+	}
+}

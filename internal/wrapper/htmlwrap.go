@@ -1,0 +1,149 @@
+package wrapper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"yat/internal/tree"
+)
+
+// HTMLOptions configures HTML export.
+type HTMLOptions struct {
+	// URL maps a page identity to its URL; the default sanitizes the
+	// canonical key into "<key>.html". "It is the HTML wrapper's
+	// responsibility to map these pattern identifiers to a real URL"
+	// (§4.1).
+	URL func(tree.Name) string
+	// PageFunctor selects which Skolem functor denotes pages;
+	// defaults to "HtmlPage".
+	PageFunctor string
+}
+
+func (o *HTMLOptions) url(n tree.Name) string {
+	if o != nil && o.URL != nil {
+		return o.URL(n)
+	}
+	return SanitizeURL(n)
+}
+
+func (o *HTMLOptions) functor() string {
+	if o != nil && o.PageFunctor != "" {
+		return o.PageFunctor
+	}
+	return "HtmlPage"
+}
+
+// SanitizeURL is the default identity-to-URL mapping.
+func SanitizeURL(n tree.Name) string {
+	var b strings.Builder
+	for _, r := range n.Key() {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String() + ".html"
+}
+
+// ExportHTML renders every page object of a conversion result into
+// HTML text, returning URL → document. Anchors (&HtmlPage(...)
+// references under href) resolve to the target page's URL.
+func ExportHTML(outputs *tree.Store, opts *HTMLOptions) (map[string]string, error) {
+	pages := map[string]string{}
+	for _, e := range outputs.Entries() {
+		if e.Name.Functor != opts.functor() {
+			continue
+		}
+		var b strings.Builder
+		b.WriteString("<!DOCTYPE html>\n")
+		if err := renderHTML(&b, e.Tree, opts); err != nil {
+			return nil, fmt.Errorf("wrapper: rendering page %s: %w", e.Name, err)
+		}
+		b.WriteByte('\n')
+		pages[opts.url(e.Name)] = b.String()
+	}
+	return pages, nil
+}
+
+// PageURLs lists the exported page URLs in sorted order.
+func PageURLs(pages map[string]string) []string {
+	out := make([]string, 0, len(pages))
+	for u := range pages {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// renderHTML renders one YAT html tree as markup. Symbol nodes become
+// tags, atom leaves become text; the anchor shape produced by rule
+// Web6 — a < href -> &Page, cont -> X > — becomes <a href="url">.
+func renderHTML(b *strings.Builder, n *tree.Node, opts *HTMLOptions) error {
+	switch label := n.Label.(type) {
+	case tree.Symbol:
+		if n.IsLeaf() {
+			// A leaf symbol is data (a class name like `car` under h1),
+			// not markup.
+			b.WriteString(htmlEscape(string(label)))
+			return nil
+		}
+		if string(label) == "a" {
+			if href, cont, ok := anchorParts(n); ok {
+				fmt.Fprintf(b, `<a href="%s">`, opts.url(href))
+				if err := renderHTML(b, cont, opts); err != nil {
+					return err
+				}
+				b.WriteString("</a>")
+				return nil
+			}
+		}
+		fmt.Fprintf(b, "<%s>", label)
+		for _, c := range n.Children {
+			if err := renderHTML(b, c, opts); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(b, "</%s>", label)
+		return nil
+	case tree.String:
+		b.WriteString(htmlEscape(string(label)))
+		return nil
+	case tree.Int, tree.Float, tree.Bool:
+		b.WriteString(htmlEscape(n.Label.Display()))
+		return nil
+	case tree.Ref:
+		// A bare reference renders as a link to the page if it is
+		// one, else as its name.
+		fmt.Fprintf(b, `<a href="%s">%s</a>`, opts.url(label.Name), htmlEscape(label.Name.String()))
+		return nil
+	default:
+		return fmt.Errorf("cannot render label %s", n.Label.Display())
+	}
+}
+
+// anchorParts recognizes the Web6 anchor shape.
+func anchorParts(n *tree.Node) (href tree.Name, cont *tree.Node, ok bool) {
+	if len(n.Children) != 2 {
+		return tree.Name{}, nil, false
+	}
+	h, c := n.Children[0], n.Children[1]
+	if !h.Label.Equal(tree.Symbol("href")) || !c.Label.Equal(tree.Symbol("cont")) {
+		return tree.Name{}, nil, false
+	}
+	if len(h.Children) != 1 || len(c.Children) != 1 {
+		return tree.Name{}, nil, false
+	}
+	name, isRef := h.Children[0].RefName()
+	if !isRef {
+		return tree.Name{}, nil, false
+	}
+	return name, c.Children[0], true
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

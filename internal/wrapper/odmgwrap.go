@@ -1,0 +1,210 @@
+package wrapper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"yat/internal/odmg"
+	"yat/internal/pattern"
+	"yat/internal/tree"
+)
+
+// ExportODMG converts an ODMG database into a YAT store: one entry
+// per object, named by its OID, shaped like the paper's ODMG
+// patterns:
+//
+//	class -> car < -> name -> "Golf", ...,
+//	                  -> suppliers -> set < &supplier_1, ... > >
+func ExportODMG(db *odmg.Database) *tree.Store {
+	store := tree.NewStore()
+	for _, o := range db.Objects() {
+		class := tree.Sym(o.Class)
+		for _, nv := range o.Attrs {
+			class.Add(tree.Sym(nv.Name, odmgValueTree(nv.Value)))
+		}
+		store.Put(tree.PlainName(o.OID), tree.Sym("class", class))
+	}
+	return store
+}
+
+func odmgValueTree(v *odmg.Value) *tree.Node {
+	switch v.Kind {
+	case odmg.TString:
+		return tree.Str(v.Str)
+	case odmg.TInt:
+		return tree.IntLeaf(v.Int)
+	case odmg.TFloat:
+		return tree.FloatLeaf(v.Float)
+	case odmg.TBool:
+		return tree.BoolLeaf(v.Bool)
+	case odmg.TRef:
+		return tree.RefLeaf(tree.PlainName(v.Ref))
+	case odmg.TTuple:
+		n := tree.Sym("tuple")
+		for _, nv := range v.Named {
+			n.Add(tree.Sym(nv.Name, odmgValueTree(nv.Value)))
+		}
+		return n
+	default: // collections
+		n := tree.Sym(v.Kind.String())
+		for _, e := range v.Elems {
+			n.Add(odmgValueTree(e))
+		}
+		return n
+	}
+}
+
+// ImportODMG materializes a YAT store of class-shaped trees into an
+// ODMG database, validating against the schema. Entries that are not
+// class trees are skipped (active-domain tolerance); reference leaves
+// become object references named by the canonical key of the
+// referenced identity.
+func ImportODMG(store *tree.Store, schema *odmg.Schema) (*odmg.Database, error) {
+	db := odmg.NewDatabase(schema)
+	for _, e := range store.Entries() {
+		t := e.Tree
+		if sym, ok := t.Label.(tree.Symbol); !ok || sym != "class" || len(t.Children) != 1 {
+			continue
+		}
+		classNode := t.Children[0]
+		className, ok := classNode.Label.(tree.Symbol)
+		if !ok {
+			continue
+		}
+		class, declared := schema.Class(string(className))
+		if !declared {
+			continue
+		}
+		obj := &odmg.Object{OID: e.Name.Key(), Class: class.Name}
+		if len(classNode.Children) != len(class.Attrs) {
+			return nil, fmt.Errorf("wrapper: object %s has %d attributes, class %s declares %d",
+				e.Name, len(classNode.Children), class.Name, len(class.Attrs))
+		}
+		for i, attrNode := range classNode.Children {
+			attrName, ok := attrNode.Label.(tree.Symbol)
+			if !ok || string(attrName) != class.Attrs[i].Name || len(attrNode.Children) != 1 {
+				return nil, fmt.Errorf("wrapper: object %s: malformed attribute %d (want %s)",
+					e.Name, i, class.Attrs[i].Name)
+			}
+			v, err := odmgValueFromTree(attrNode.Children[0], class.Attrs[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("wrapper: object %s attribute %s: %w", e.Name, attrName, err)
+			}
+			obj.Attrs = append(obj.Attrs, odmg.NamedValue{Name: string(attrName), Value: v})
+		}
+		db.Put(obj)
+	}
+	if err := db.Check(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func odmgValueFromTree(n *tree.Node, t *odmg.Type) (*odmg.Value, error) {
+	switch t.Kind {
+	case odmg.TString:
+		switch l := n.Label.(type) {
+		case tree.String:
+			return odmg.Str(string(l)), nil
+		case tree.Int:
+			return odmg.Str(strconv.FormatInt(int64(l), 10)), nil
+		}
+		return nil, fmt.Errorf("expected string, found %s", n.Label.Display())
+	case odmg.TInt:
+		switch l := n.Label.(type) {
+		case tree.Int:
+			return odmg.Int(int64(l)), nil
+		case tree.String:
+			if i, err := strconv.ParseInt(strings.TrimSpace(string(l)), 10, 64); err == nil {
+				return odmg.Int(i), nil
+			}
+		}
+		return nil, fmt.Errorf("expected int, found %s", n.Label.Display())
+	case odmg.TFloat:
+		switch l := n.Label.(type) {
+		case tree.Float:
+			return odmg.Float(float64(l)), nil
+		case tree.Int:
+			return odmg.Float(float64(l)), nil
+		}
+		return nil, fmt.Errorf("expected float, found %s", n.Label.Display())
+	case odmg.TBool:
+		if l, ok := n.Label.(tree.Bool); ok {
+			return odmg.Bool(bool(l)), nil
+		}
+		return nil, fmt.Errorf("expected bool, found %s", n.Label.Display())
+	case odmg.TRef:
+		name, ok := n.RefName()
+		if !ok {
+			return nil, fmt.Errorf("expected reference, found %s", n.Label.Display())
+		}
+		return odmg.Ref(name.Key()), nil
+	case odmg.TTuple:
+		if len(n.Children) != len(t.Fields) {
+			return nil, fmt.Errorf("tuple arity %d, declared %d", len(n.Children), len(t.Fields))
+		}
+		v := &odmg.Value{Kind: odmg.TTuple}
+		for i, c := range n.Children {
+			inner, err := odmgValueFromTree(c.Children[0], t.Fields[i].Type)
+			if err != nil {
+				return nil, err
+			}
+			v.Named = append(v.Named, odmg.NamedValue{Name: t.Fields[i].Name, Value: inner})
+		}
+		return v, nil
+	default: // collections
+		if sym, ok := n.Label.(tree.Symbol); !ok || string(sym) != t.Kind.String() {
+			return nil, fmt.Errorf("expected %s node, found %s", t.Kind, n.Label.Display())
+		}
+		v := &odmg.Value{Kind: t.Kind}
+		for _, c := range n.Children {
+			inner, err := odmgValueFromTree(c, t.Elem)
+			if err != nil {
+				return nil, err
+			}
+			v.Elems = append(v.Elems, inner)
+		}
+		return v, nil
+	}
+}
+
+// ODMGSchemaModel derives the YAT model of an ODMG schema: one
+// pattern per class, exactly the Car Schema construction of Figure 2.
+func ODMGSchemaModel(s *odmg.Schema) *pattern.Model {
+	m := pattern.NewModel()
+	for _, name := range s.Classes() {
+		class, _ := s.Class(name)
+		classNode := pattern.NewSym(name)
+		for _, f := range class.Attrs {
+			classNode.Edges = append(classNode.Edges, pattern.One(
+				pattern.NewSym(f.Name, pattern.One(typePattern(f.Type, f.Name)))))
+		}
+		m.Add(pattern.NewPattern("P"+name, pattern.NewSym("class", pattern.One(classNode))))
+	}
+	return m
+}
+
+func typePattern(t *odmg.Type, hint string) *pattern.PTree {
+	switch t.Kind {
+	case odmg.TString:
+		return pattern.NewVar(varNameFor(hint), pattern.KindDomain(tree.KindString))
+	case odmg.TInt:
+		return pattern.NewVar(varNameFor(hint), pattern.KindDomain(tree.KindInt))
+	case odmg.TFloat:
+		return pattern.NewVar(varNameFor(hint), pattern.KindDomain(tree.KindFloat))
+	case odmg.TBool:
+		return pattern.NewVar(varNameFor(hint), pattern.KindDomain(tree.KindBool))
+	case odmg.TRef:
+		return pattern.NewPatRef("P"+t.Class, true)
+	case odmg.TTuple:
+		n := pattern.NewSym("tuple")
+		for _, f := range t.Fields {
+			n.Edges = append(n.Edges, pattern.One(
+				pattern.NewSym(f.Name, pattern.One(typePattern(f.Type, f.Name)))))
+		}
+		return n
+	default:
+		return pattern.NewSym(t.Kind.String(), pattern.Star(typePattern(t.Elem, hint+"Elem")))
+	}
+}

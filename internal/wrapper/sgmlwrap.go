@@ -1,0 +1,174 @@
+// Package wrapper implements the import/export wrappers of the YAT
+// runtime environment (Figure 6): SGML and relational data import
+// into YAT trees, ODMG databases import and export, and HTML export.
+// Wrappers are the only components that know source formats; the
+// interpreter sees uniform named trees.
+package wrapper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"yat/internal/pattern"
+	"yat/internal/sgml"
+	"yat/internal/tree"
+)
+
+// SGMLOptions configures SGML import.
+type SGMLOptions struct {
+	// InferTypes converts numeric and boolean PCDATA into typed
+	// atoms (1995 → Int), so predicates like Year > 1975 apply.
+	// Without it all character data imports as strings.
+	InferTypes bool
+	// Validate checks each document against the DTD before import.
+	Validate bool
+	DTD      *sgml.DTD
+}
+
+// SGMLTree converts one SGML element into a YAT tree: each element
+// becomes a node labeled with its tag; #PCDATA becomes an atom leaf.
+func SGMLTree(e *sgml.Element, opts *SGMLOptions) *tree.Node {
+	if opts == nil {
+		opts = &SGMLOptions{InferTypes: true}
+	}
+	n := tree.Sym(e.Name)
+	if len(e.Children) == 0 {
+		n.Add(tree.New(pcdataValue(e.Text, opts.InferTypes)))
+		return n
+	}
+	for _, c := range e.Children {
+		n.Add(SGMLTree(c, opts))
+	}
+	return n
+}
+
+func pcdataValue(text string, infer bool) tree.Value {
+	if !infer {
+		return tree.String(text)
+	}
+	t := strings.TrimSpace(text)
+	if i, err := strconv.ParseInt(t, 10, 64); err == nil && t != "" {
+		return tree.Int(i)
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil && strings.ContainsAny(t, ".eE") {
+		return tree.Float(f)
+	}
+	if t == "true" || t == "false" {
+		return tree.Bool(t == "true")
+	}
+	return tree.String(text)
+}
+
+// ImportSGML parses and imports a set of SGML documents into a store,
+// naming each by the given name. With Validate set, non-conforming
+// documents are rejected.
+func ImportSGML(docs map[string]string, opts *SGMLOptions) (*tree.Store, error) {
+	if opts == nil {
+		opts = &SGMLOptions{InferTypes: true}
+	}
+	store := tree.NewStore()
+	// Deterministic import order.
+	names := make([]string, 0, len(docs))
+	for n := range docs {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		doc, err := sgml.ParseDocument(docs[name])
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: importing %s: %w", name, err)
+		}
+		if opts.Validate && opts.DTD != nil {
+			if err := sgml.Validate(doc, opts.DTD); err != nil {
+				return nil, fmt.Errorf("wrapper: importing %s: %w", name, err)
+			}
+		}
+		store.Put(tree.PlainName(name), SGMLTree(doc, opts))
+	}
+	return store, nil
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// DTDModel derives the YAT model of a DTD: one pattern per element,
+// with #PCDATA positions as variables (the paper's Pbr pattern is the
+// root pattern of the brochure DTD). Pattern names are "P" + element
+// name; recursion in the DTD maps to pattern dereferencing.
+func DTDModel(d *sgml.DTD) *pattern.Model {
+	m := pattern.NewModel()
+	for _, name := range d.Elements() {
+		cm, _ := d.Element(name)
+		node := pattern.NewSym(name)
+		switch cm.Kind {
+		case sgml.MPCData:
+			node.Edges = append(node.Edges, pattern.One(
+				pattern.NewVar(varNameFor(name), pattern.AnyDomain)))
+		case sgml.MEmpty:
+			// leaf
+		case sgml.MAny:
+			node.Edges = append(node.Edges, pattern.Star(
+				pattern.NewVar(varNameFor(name), pattern.AnyDomain)))
+		default:
+			node.Edges = append(node.Edges, modelEdges(cm)...)
+		}
+		m.Add(pattern.NewPattern("P"+name, node))
+	}
+	return m
+}
+
+// modelEdges converts a content model into pattern edges.
+func modelEdges(cm *sgml.Model) []pattern.Edge {
+	switch cm.Kind {
+	case sgml.MName:
+		child := pattern.NewPatRef("P"+cm.Name, false)
+		switch cm.Occ {
+		case sgml.One:
+			return []pattern.Edge{pattern.One(child)}
+		default:
+			// *, + and ? all weaken to the model's star indicator.
+			return []pattern.Edge{pattern.Star(child)}
+		}
+	case sgml.MSeq:
+		var out []pattern.Edge
+		for _, it := range cm.Items {
+			out = append(out, modelEdges(it)...)
+		}
+		if cm.Occ != sgml.One {
+			// A repeated group weakens to a star over each member.
+			for i := range out {
+				out[i].Occ = pattern.OccStar
+			}
+		}
+		return out
+	case sgml.MChoice:
+		// A choice weakens to a star over the alternatives (the model
+		// layer has unions at pattern level, not edge level).
+		var out []pattern.Edge
+		for _, it := range cm.Items {
+			es := modelEdges(it)
+			for i := range es {
+				es[i].Occ = pattern.OccStar
+			}
+			out = append(out, es...)
+		}
+		return out
+	case sgml.MPCData:
+		return []pattern.Edge{pattern.One(pattern.NewVar("Data", pattern.AnyDomain))}
+	}
+	return nil
+}
+
+// varNameFor capitalizes an element name into a variable name.
+func varNameFor(elem string) string {
+	if elem == "" {
+		return "X"
+	}
+	return strings.ToUpper(elem[:1]) + elem[1:]
+}

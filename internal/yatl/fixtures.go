@@ -1,0 +1,219 @@
+package yatl
+
+// This file carries the paper's example programs in YATL concrete
+// syntax. They are the shared fixtures for the engine, typing,
+// composition and experiment tests (experiments E3–E11).
+
+// ODMGModelSource declares the ODMG model (Figure 2) in text form.
+const ODMGModelSource = `
+model ODMG {
+  Pclass = class -> Class_name -*> Att -> ^Ptype
+  Ptype = Y : string|int|float|bool
+        | set -*> ^Ptype
+        | bag -*> ^Ptype
+        | list -*> ^Ptype
+        | array -*> ^Ptype
+        | tuple -*> Att2 -> ^Ptype
+        | &Pclass
+}
+`
+
+// BrochureBody is the body pattern shared by Rules 1, 1', 2 and 4:
+// one SGML brochure conforming to the paper's DTD, iterating over its
+// suppliers.
+const BrochureBody = `brochure < -> number -> Num, -> title -> T,
+                                 -> model -> Year, -> desc -> D,
+                                 -> spplrs -*> supplier < -> name -> SN,
+                                                          -> address -> Add > >`
+
+// Rule1Source is Rule 1 (§3.1): create one supplier object per
+// distinct supplier name found in brochures newer than 1975.
+const Rule1Source = `
+rule Sup {
+  head Psup(SN) = class -> supplier < -> name -> SN, -> city -> C, -> zip -> Z >
+  from Pbr = ` + BrochureBody + `
+  where Year > 1975
+  let C = city(Add)
+  let Z = zip(Add)
+}
+`
+
+// Rule2Source is Rule 2 (§3.1): create one car object per brochure,
+// referencing its set of suppliers.
+const Rule2Source = `
+rule Car {
+  head Pcar(Pbr) = class -> car < -> name -> T, -> desc -> D,
+                                   -> suppliers -> set -{}> &Psup(SN) >
+  from Pbr = ` + BrochureBody + `
+}
+`
+
+// Rule1PrimeSource is Rule 1' (§3.1): suppliers additionally carry a
+// `sells` set referencing the cars they supply — the cyclic-reference
+// example.
+const Rule1PrimeSource = `
+rule SupPrime {
+  head Psup(SN) = class -> supplier < -> name -> SN, -> city -> C, -> zip -> Z,
+                                       -> sells -> set -{}> &Pcar(Pbr) >
+  from Pbr = ` + BrochureBody + `
+  let C = city(Add)
+  let Z = zip(Add)
+}
+`
+
+// CyclicSupSource is Rule 1' with the & removed from Pcar — the
+// program the paper uses to motivate cycle detection (§3.4). Combined
+// with CyclicCarSource it must be rejected.
+const CyclicSupSource = `
+rule SupCyclic {
+  head Psup(SN) = class -> supplier < -> name -> SN, -> city -> C, -> zip -> Z,
+                                       -> sells -> set -{}> ^Pcar(Pbr) >
+  from Pbr = ` + BrochureBody + `
+  let C = city(Add)
+  let Z = zip(Add)
+}
+`
+
+// CyclicCarSource is Rule 2 with the & removed from Psup.
+const CyclicCarSource = `
+rule CarCyclic {
+  head Pcar(Pbr) = class -> car < -> name -> T, -> desc -> D,
+                                   -> suppliers -> set -{}> ^Psup(SN) >
+  from Pbr = ` + BrochureBody + `
+}
+`
+
+// Rule3Source is Rule 3 (§3.2): the heterogeneous join between the
+// relational database and the SGML brochures. One car object per
+// relational car that has a matching brochure; supplier identity is
+// reconciled through the shared SN variable and the sameaddress
+// external predicate.
+const Rule3Source = `
+rule CarJoin {
+  head Pcar(Cid) = class -> car < -> name -> T, -> desc -> D,
+                                   -> suppliers -> set -*> &Psup(Sid) >
+  from Pbr = ` + BrochureBody + `
+  from Rsuppliers = suppliers -*> row < -> sid -> Sid, -> name -> SN, -> city -> C,
+                                         -> address -> Add2, -> tel -> Tel >
+  from Rcars = cars -*> row < -> cid -> Cid, -> broch_num -> Num >
+  where sameaddress(Add, C, Add2)
+}
+`
+
+// Rule4Source is Rule 4 (§3.3): an ODMG list of supplier references
+// ordered by supplier name, duplicates removed — the combined
+// grouping/ordering primitive.
+const Rule4Source = `
+rule SupList {
+  head PsupList(Pbr) = list -[SN]> &Psup(SN)
+  from Pbr = ` + BrochureBody + `
+}
+`
+
+// Rule5Source is Rule 5 (§3.3, Figure 4): transpose any matrix using
+// index edges.
+const Rule5Source = `
+rule Transpose {
+  head New(Id) = Mat -#J> Y -#I> X -> A
+  from Id = Mat -#I> X -#J> Y -> A
+}
+`
+
+// WebProgramSource is the generic ODMG → HTML program (§4.1, rules
+// Web1–Web6), implementing the O2Web translation: an object becomes a
+// page, an atom a string, collections and tuples become HTML lists,
+// and an object reference becomes an anchor. It is safe-recursive:
+// the HtmlElement Skolem recurses on subtrees of the input.
+const WebProgramSource = `
+program odmg2html
+` + ODMGModelSource + `
+rule Web1 {
+  head HtmlPage(Pclass) = html < -> head -> title -> Class_name,
+                                 -> body < -> h1 -> Class_name,
+                                           -> ul -*> li < -> L1, -> ^HtmlElement(P2) > > >
+  from Pclass = class -> Class_name -*> Att -> P2 : Ptype
+  let L1 = attr_label(Att)
+}
+
+rule Web2 {
+  head HtmlElement(Pany) = S
+  from Pany = Data
+  let S = data_to_string(Data)
+}
+
+rule Web3 {
+  head HtmlElement(Ptup) = ul -*> li -> ^HtmlElement(P2)
+  from Ptup = tuple -*> Att -> P2 : Ptype
+}
+
+rule Web4 {
+  head HtmlElement(Pcoll) = ul -*> li -> ^HtmlElement(P2)
+  from Pcoll = X : (set|bag) -*> P2 : Ptype
+}
+
+rule Web5 {
+  head HtmlElement(Pseq) = ol -*> li -> ^HtmlElement(P2)
+  from Pseq = X : (list|array) -*> P2 : Ptype
+}
+
+rule Web6 {
+  head HtmlElement(Pobj) = a < -> href -> &HtmlPage(Pobj), -> cont -> Class_name >
+  from Pobj = class -> Class_name -*> Att -> P2 : Ptype
+}
+`
+
+// AnnotatedSGMLToODMGSource is the §3.1 program with explicit string
+// domains on the PCDATA variables. The annotations let the type
+// checker prove the output ODMG-compliant (§3.5) and make the program
+// composable with the Web program (§4.3).
+const AnnotatedSGMLToODMGSource = `
+program sgml2odmgTyped
+
+rule Sup {
+  head Psup(SN) = class -> supplier < -> name -> SN, -> city -> C, -> zip -> Z >
+  from Pbr = brochure < -> number -> Num, -> title -> T : string,
+                        -> model -> Year, -> desc -> D : string,
+                        -> spplrs -*> supplier < -> name -> SN : string,
+                                                 -> address -> Add > >
+  where Year > 1975
+  let C = city(Add)
+  let Z = zip(Add)
+}
+
+rule Car {
+  head Pcar(Pbr) = class -> car < -> name -> T, -> desc -> D,
+                                   -> suppliers -> set -{}> &Psup(SN) >
+  from Pbr = brochure < -> number -> Num, -> title -> T : string,
+                        -> model -> Year, -> desc -> D : string,
+                        -> spplrs -*> supplier < -> name -> SN : string,
+                                                 -> address -> Add > >
+}
+`
+
+// SGMLToODMGSource is the two-rule program of §3.1 (Rules 1 and 2),
+// the running example converting SGML brochures to ODMG objects.
+const SGMLToODMGSource = `
+program sgml2odmg
+` + Rule1Source + Rule2Source
+
+// SGMLToODMGPrimeSource combines Rule 1' and Rule 2: the mutually
+// referencing cars ↔ suppliers object graph.
+const SGMLToODMGPrimeSource = `
+program sgml2odmgPrime
+` + Rule1PrimeSource + Rule2Source
+
+// CyclicProgramSource is the program with both & symbols removed —
+// must be rejected by the safety check (§3.4).
+const CyclicProgramSource = `
+program cyclic
+` + CyclicSupSource + CyclicCarSource
+
+// ExceptionRuleSource is the §3.5 exception rule: it matches any
+// input and raises; appended at the bottom of a hierarchy it fires
+// only when no other rule converted the input.
+const ExceptionRuleSource = `
+rule Exception {
+  exception
+  from Pany = Data
+}
+`

@@ -1,0 +1,275 @@
+package yatl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates the lexical tokens of the YATL concrete syntax.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tInt
+	tFloat
+	tArrowOne   // ->
+	tArrowStar  // -*>
+	tArrowGroup // -{}>
+	tOrderOpen  // -[
+	tIndexOpen  // -#
+	tOrderClose // ]>
+	tLAngle     // <
+	tRAngle     // >
+	tLParen     // (
+	tRParen     // )
+	tLBrace     // {
+	tRBrace     // }
+	tComma      // ,
+	tColon      // :
+	tEq         // =
+	tPipe       // |
+	tAmp        // &
+	tCaret      // ^
+	tEqEq       // ==
+	tBangEq     // !=
+	tLtEq       // <=
+	tGtEq       // >=
+)
+
+func (k tokKind) String() string {
+	names := map[tokKind]string{
+		tEOF: "end of input", tIdent: "identifier", tString: "string",
+		tInt: "integer", tFloat: "float", tArrowOne: "->", tArrowStar: "-*>",
+		tArrowGroup: "-{}>", tOrderOpen: "-[", tIndexOpen: "-#",
+		tOrderClose: "]>", tLAngle: "<", tRAngle: ">", tLParen: "(",
+		tRParen: ")", tLBrace: "{", tRBrace: "}", tComma: ",", tColon: ":",
+		tEq: "=", tPipe: "|", tAmp: "&", tCaret: "^", tEqEq: "==",
+		tBangEq: "!=", tLtEq: "<=", tGtEq: ">=",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("yatl: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance(w int) {
+	for i := 0; i < w; i++ {
+		if l.off < len(l.src) && l.src[l.off] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.off++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		r, w := utf8.DecodeRuneInString(l.src[l.off:])
+		switch {
+		case unicode.IsSpace(r):
+			l.advance(w)
+		case strings.HasPrefix(l.src[l.off:], "//") || strings.HasPrefix(l.src[l.off:], "#"):
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+	if l.off >= len(l.src) {
+		return mk(tEOF, ""), nil
+	}
+	rest := l.src[l.off:]
+	r, w := utf8.DecodeRuneInString(rest)
+
+	// Multi-character operators first.
+	switch {
+	case strings.HasPrefix(rest, "-{}>"):
+		l.advance(4)
+		return mk(tArrowGroup, "-{}>"), nil
+	case strings.HasPrefix(rest, "-*>"):
+		l.advance(3)
+		return mk(tArrowStar, "-*>"), nil
+	case strings.HasPrefix(rest, "->"):
+		l.advance(2)
+		return mk(tArrowOne, "->"), nil
+	case strings.HasPrefix(rest, "-["):
+		l.advance(2)
+		return mk(tOrderOpen, "-["), nil
+	case strings.HasPrefix(rest, "-#"):
+		l.advance(2)
+		return mk(tIndexOpen, "-#"), nil
+	case strings.HasPrefix(rest, "]>"):
+		l.advance(2)
+		return mk(tOrderClose, "]>"), nil
+	case strings.HasPrefix(rest, "=="):
+		l.advance(2)
+		return mk(tEqEq, "=="), nil
+	case strings.HasPrefix(rest, "!="):
+		l.advance(2)
+		return mk(tBangEq, "!="), nil
+	case strings.HasPrefix(rest, "<="):
+		l.advance(2)
+		return mk(tLtEq, "<="), nil
+	case strings.HasPrefix(rest, ">="):
+		l.advance(2)
+		return mk(tGtEq, ">="), nil
+	}
+
+	switch r {
+	case '<':
+		l.advance(1)
+		return mk(tLAngle, "<"), nil
+	case '>':
+		l.advance(1)
+		return mk(tRAngle, ">"), nil
+	case '(':
+		l.advance(1)
+		return mk(tLParen, "("), nil
+	case ')':
+		l.advance(1)
+		return mk(tRParen, ")"), nil
+	case '{':
+		l.advance(1)
+		return mk(tLBrace, "{"), nil
+	case '}':
+		l.advance(1)
+		return mk(tRBrace, "}"), nil
+	case ',':
+		l.advance(1)
+		return mk(tComma, ","), nil
+	case ':':
+		l.advance(1)
+		return mk(tColon, ":"), nil
+	case '=':
+		l.advance(1)
+		return mk(tEq, "="), nil
+	case '|':
+		l.advance(1)
+		return mk(tPipe, "|"), nil
+	case '&':
+		l.advance(1)
+		return mk(tAmp, "&"), nil
+	case '^':
+		l.advance(1)
+		return mk(tCaret, "^"), nil
+	case '"':
+		start := l.off
+		l.advance(1)
+		for l.off < len(l.src) {
+			c := l.src[l.off]
+			if c == '\\' {
+				l.advance(2)
+				continue
+			}
+			if c == '"' {
+				l.advance(1)
+				return mk(tString, l.src[start:l.off]), nil
+			}
+			if c == '\n' {
+				return token{}, l.errorf(line, col, "unterminated string literal")
+			}
+			l.advance(1)
+		}
+		return token{}, l.errorf(line, col, "unterminated string literal")
+	}
+
+	if r == '-' || unicode.IsDigit(r) {
+		start := l.off
+		l.advance(w)
+		isFloat := false
+		for l.off < len(l.src) {
+			c := l.src[l.off]
+			if c >= '0' && c <= '9' {
+				l.advance(1)
+				continue
+			}
+			if c == '.' || c == 'e' || c == 'E' {
+				isFloat = true
+				l.advance(1)
+				if l.off < len(l.src) && (l.src[l.off] == '+' || l.src[l.off] == '-') {
+					l.advance(1)
+				}
+				continue
+			}
+			break
+		}
+		text := l.src[start:l.off]
+		if text == "-" {
+			return token{}, l.errorf(line, col, "unexpected character %q", "-")
+		}
+		if isFloat {
+			return mk(tFloat, text), nil
+		}
+		return mk(tInt, text), nil
+	}
+
+	if unicode.IsLetter(r) || r == '_' {
+		start := l.off
+		l.advance(w)
+		for l.off < len(l.src) {
+			r, w := utf8.DecodeRuneInString(l.src[l.off:])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+				l.advance(w)
+				continue
+			}
+			break
+		}
+		return mk(tIdent, l.src[start:l.off]), nil
+	}
+
+	return token{}, l.errorf(line, col, "unexpected character %q", string(r))
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package yatl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"yat/internal/pattern"
+)
+
+// Fuzz-style robustness: random mutations of valid sources must never
+// panic the lexer or parser — they either parse or return an error.
+func TestParserRobustUnderMutation(t *testing.T) {
+	sources := []string{
+		WebProgramSource,
+		SGMLToODMGSource,
+		Rule3Source,
+		Rule5Source,
+		ODMGModelSource,
+	}
+	r := rand.New(rand.NewSource(99))
+	mutants := 0
+	parsed := 0
+	for _, src := range sources {
+		for trial := 0; trial < 200; trial++ {
+			m := mutate(r, src)
+			mutants++
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						t.Fatalf("parser panicked on mutant: %v\n%s", rec, m)
+					}
+				}()
+				if _, err := Parse(m); err == nil {
+					parsed++
+				}
+			}()
+		}
+	}
+	t.Logf("%d mutants, %d still parsed", mutants, parsed)
+}
+
+// mutate applies one random edit: delete a span, duplicate a span, or
+// splice in a random token.
+func mutate(r *rand.Rand, src string) string {
+	if len(src) < 4 {
+		return src
+	}
+	tokens := []string{"<", ">", "(", ")", "{", "}", "->", "-*>", "-{}>",
+		"-[", "]>", "-#", "&", "^", "|", ":", "=", ",", "rule", "head",
+		"from", "where", "let", "model", `"unterminated`, "1975", "X"}
+	switch r.Intn(3) {
+	case 0: // delete
+		i := r.Intn(len(src) - 2)
+		j := i + 1 + r.Intn(min(20, len(src)-i-1))
+		return src[:i] + src[j:]
+	case 1: // duplicate
+		i := r.Intn(len(src) - 2)
+		j := i + 1 + r.Intn(min(20, len(src)-i-1))
+		return src[:j] + src[i:j] + src[j:]
+	default: // splice
+		i := r.Intn(len(src))
+		return src[:i] + " " + tokens[r.Intn(len(tokens))] + " " + src[i:]
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Printed forms of randomly mutated-but-still-valid programs reparse
+// to the same printed form (printer/parser are mutual inverses on the
+// valid subset).
+func TestPrintParseFixpointOnMutants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	base := MustParse(WebProgramSource)
+	for trial := 0; trial < 100; trial++ {
+		m := mutate(r, base.String())
+		p1, err := Parse(m)
+		if err != nil {
+			continue
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("printed form of a valid program failed to reparse: %v\n%s", err, p1.String())
+		}
+		if p1.String() != p2.String() {
+			t.Fatalf("print ∘ parse not a fixpoint:\n%s\nvs\n%s", p1.String(), p2.String())
+		}
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	bad := []string{
+		`model M {`,
+		`model { }`,
+		`model M { P }`,
+		`model M { P = }`,
+		`rule R { head F = a from X = b }`, // not a model
+		`model M { P = a } trailing`,
+	}
+	for _, src := range bad {
+		if _, _, err := ParseModel(src); err == nil {
+			t.Errorf("ParseModel(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	bad := []string{
+		`program`,
+		`bogus topLevel`,
+		`program p rule`,
+		`program p order A`,
+		`program p order A before`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestKeywordsAsSymbolsInsideTrees(t *testing.T) {
+	// Clause keywords are ordinary symbols inside pattern trees (the
+	// brochure DTD has a `model` element; HTML has `head`).
+	r := MustParseRule(`rule R {
+	  head F(X) = html < -> head -> T, -> model -> M >
+	  from X = doc < -> head -> T, -> model -> M, -> rule -> R2, -> from -> F2 >
+	}`)
+	s := r.Body[0].Tree.String()
+	for _, frag := range []string{"head ->", "model ->", "rule ->", "from ->"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("keyword-as-symbol lost: %q in %s", frag, s)
+		}
+	}
+}
+
+func TestExceptionRulePrintsAndReparses(t *testing.T) {
+	r := MustParseRule(ExceptionRuleSource)
+	r2, err := ParseRule(r.String())
+	if err != nil {
+		t.Fatalf("exception rule reparse: %v\n%s", err, r.String())
+	}
+	if !r2.Exception {
+		t.Error("exception flag lost in round trip")
+	}
+}
+
+func TestRefDomainSyntax(t *testing.T) {
+	pt := MustParsePattern(`set -*> X : &Psup`)
+	v := pt.Edges[0].To.Label.(pattern.Var)
+	if !v.Domain.IsRefPattern() || v.Domain.Pattern != "Psup" {
+		t.Errorf("ref domain not parsed: %+v", v.Domain)
+	}
+	// Round trip through the printer.
+	again := MustParsePattern(pt.String())
+	if again.String() != pt.String() {
+		t.Errorf("ref domain round trip: %s vs %s", pt, again)
+	}
+}

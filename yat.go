@@ -1,0 +1,229 @@
+// Package yat is a Go implementation of the YAT system for data
+// conversion ("Your Mediators Need Data Conversion!", Cluet, Delobel,
+// Siméon, Smaga — SIGMOD 1998).
+//
+// YAT converts data between heterogeneous representations — SGML
+// documents, relational tables, ODMG objects, HTML pages — through a
+// middleware model of named ordered labeled trees and a declarative
+// rule language, YATL. Conversion programs can be type checked
+// (signature inference plus the model-instantiation relation),
+// customized (specialized onto a specific pattern and then edited),
+// combined (rule hierarchies with most-specific-first dispatch) and
+// composed (two programs fused into one that skips the intermediate
+// model).
+//
+// This package is a thin facade over the implementation packages:
+//
+//	internal/tree       ground trees, names, stores
+//	internal/pattern    patterns, models, instantiation
+//	internal/yatl       the YATL language (parser, printer, fixtures)
+//	internal/engine     the rule interpreter
+//	internal/typing     signature inference and type checks
+//	internal/compose    instantiation, combination, composition
+//	internal/relational in-memory relational database
+//	internal/sgml       DTD and document parsing, validation
+//	internal/odmg       ODMG schemas and object store
+//	internal/wrapper    import/export wrappers
+//	internal/library    program/model library
+//	internal/mediator   querying the virtual target (mediator side)
+//	internal/workload   synthetic benchmark data
+//
+// Quick start:
+//
+//	prog, _ := yat.ParseProgram(yat.Rules1And2)
+//	inputs, _ := yat.ImportSGML(map[string]string{"b1": doc}, nil)
+//	result, _ := yat.Run(prog, inputs, nil)
+//	fmt.Print(yat.FormatStore(result.Outputs))
+package yat
+
+import (
+	"yat/internal/compose"
+	"yat/internal/engine"
+	"yat/internal/library"
+	"yat/internal/mediator"
+	"yat/internal/pattern"
+	"yat/internal/tree"
+	"yat/internal/typing"
+	"yat/internal/wrapper"
+	"yat/internal/yatl"
+)
+
+// Core data types.
+type (
+	// Node is one vertex of a ground YAT tree.
+	Node = tree.Node
+	// Name identifies a tree in a Store (plain or Skolem-minted).
+	Name = tree.Name
+	// Store holds named ground trees.
+	Store = tree.Store
+	// Value is a node label.
+	Value = tree.Value
+	// Ref is a reference label naming another tree (&name).
+	Ref = tree.Ref
+
+	// Pattern is a named union of pattern trees.
+	Pattern = pattern.Pattern
+	// Model is a set of patterns — one level of representation.
+	Model = pattern.Model
+
+	// Program is a YATL conversion program.
+	Program = yatl.Program
+	// Rule is one YATL rule.
+	Rule = yatl.Rule
+
+	// RunOptions configures program execution.
+	RunOptions = engine.Options
+	// Result is the outcome of a run.
+	Result = engine.Result
+	// Registry holds external functions and predicates.
+	Registry = engine.Registry
+
+	// Signature is a program's inferred input/output models.
+	Signature = typing.Signature
+
+	// Library stores named programs and models.
+	Library = library.Library
+)
+
+// Tree and store construction/parsing.
+var (
+	// NewStore returns an empty store.
+	NewStore = tree.NewStore
+	// ParseTree parses one ground tree in concrete syntax.
+	ParseTree = tree.Parse
+	// ParseStore parses `name: tree` entries.
+	ParseStore = tree.ParseStore
+	// FormatStore renders a store parseably.
+	FormatStore = tree.FormatStore
+	// PlainName builds a simple name; SkolemName a minted identity.
+	PlainName  = tree.PlainName
+	SkolemName = tree.SkolemName
+)
+
+// Language entry points.
+var (
+	// ParseProgram parses a YATL program.
+	ParseProgram = yatl.Parse
+	// ParseRule parses a single rule block.
+	ParseRule = yatl.ParseRule
+	// ParsePattern parses a pattern tree.
+	ParsePattern = yatl.ParsePattern
+	// ParseModel parses a `model NAME { ... }` block.
+	ParseModel = yatl.ParseModel
+)
+
+// The paper's programs, in YATL source form.
+const (
+	// Rules1And2 is the §3.1 SGML → ODMG program (Rules 1 and 2).
+	Rules1And2 = yatl.SGMLToODMGSource
+	// Rules1And2Typed is the same program with annotated PCDATA
+	// variables (type-checkable and composable).
+	Rules1And2Typed = yatl.AnnotatedSGMLToODMGSource
+	// Rules1Prime2 is Rule 1' + Rule 2 (mutually referencing objects).
+	Rules1Prime2 = yatl.SGMLToODMGPrimeSource
+	// WebRules is the generic ODMG → HTML program (Web1–Web6).
+	WebRules = yatl.WebProgramSource
+	// TransposeRule is Rule 5 (Figure 4), the matrix transpose.
+	TransposeRule = "program transpose\n" + yatl.Rule5Source
+)
+
+// Run executes a program over an input store (nil options for
+// defaults).
+func Run(prog *Program, inputs *Store, opts *RunOptions) (*Result, error) {
+	return engine.Run(prog, inputs, opts)
+}
+
+// NewRegistry returns the built-in external functions (city, zip,
+// sameaddress, data_to_string, ...); register more with
+// Registry.Register.
+func NewRegistry() *Registry { return engine.NewRegistry() }
+
+// CheckSafety runs the §3.4 static cycle analysis.
+func CheckSafety(prog *Program) error { return engine.CheckSafety(prog) }
+
+// Typing.
+var (
+	// Infer computes a program's signature M_IN ↦ M_OUT.
+	Infer = typing.Infer
+	// CheckOutput verifies the inferred output model against a more
+	// general model; CheckInput does the same for the input side.
+	CheckOutput = typing.CheckOutput
+	CheckInput  = typing.CheckInput
+	// Compatible checks that two programs can compose (§4.3).
+	Compatible = typing.Compatible
+)
+
+// Models and instantiation.
+var (
+	// InstanceOf checks the model instantiation relation (§2).
+	InstanceOf = pattern.InstanceOf
+	// Conforms validates one ground tree against a model pattern.
+	Conforms = pattern.Conforms
+	// YatModel, ODMGModel, CarSchemaModel and BrochureModel are the
+	// Figure 2 fixtures.
+	YatModel       = pattern.YatModel
+	ODMGModel      = pattern.ODMGModel
+	CarSchemaModel = pattern.CarSchemaModel
+	BrochureModel  = pattern.BrochureModel
+)
+
+// InstantiateOptions configures program instantiation/composition.
+type InstantiateOptions = compose.Options
+
+// ComposeOptions configures composition.
+type ComposeOptions = compose.ComposeOptions
+
+// Instantiate specializes a general program onto a pattern (§4.1).
+func Instantiate(prog *Program, input *Pattern, opts *InstantiateOptions) (*Program, error) {
+	return compose.Instantiate(prog, input, opts)
+}
+
+// Combine merges programs into one rule hierarchy (§4.2).
+func Combine(name string, progs ...*Program) *Program {
+	return compose.Combine(name, progs...)
+}
+
+// ComposePrograms fuses prg1 : M1 ↦ M2 and prg2 : M2' ↦ M3 into a
+// one-step M1 ↦ M3 program (§4.3).
+func ComposePrograms(prg1, prg2 *Program, opts *ComposeOptions) (*Program, error) {
+	return compose.Compose(prg1, prg2, opts)
+}
+
+// Wrappers (Figure 6's runtime environment).
+type (
+	// SGMLOptions configures SGML import.
+	SGMLOptions = wrapper.SGMLOptions
+	// HTMLOptions configures HTML export.
+	HTMLOptions = wrapper.HTMLOptions
+)
+
+var (
+	// ImportSGML parses and imports SGML documents.
+	ImportSGML = wrapper.ImportSGML
+	// ImportRelational exposes a relational database as YAT trees.
+	ImportRelational = wrapper.ImportRelational
+	// ExportODMG / ImportODMG move object databases in and out.
+	ExportODMG = wrapper.ExportODMG
+	ImportODMG = wrapper.ImportODMG
+	// ExportHTML renders page objects as HTML documents.
+	ExportHTML = wrapper.ExportHTML
+	// DTDModel derives the YAT model of a DTD.
+	DTDModel = wrapper.DTDModel
+)
+
+// BuiltinLibrary returns the program/format library preloaded with
+// the paper's programs and models.
+func BuiltinLibrary() *Library { return library.Builtin() }
+
+// Mediator answers pattern queries over the virtual target of a
+// conversion — the mediator-side querying the paper sketches as the
+// system's purpose (lazy, memoized materialization).
+type Mediator = mediator.Mediator
+
+// MediatorAnswer is one query result.
+type MediatorAnswer = mediator.Answer
+
+// NewMediator wraps a program and its sources for querying.
+func NewMediator(prog *Program, inputs *Store, opts *RunOptions) *Mediator {
+	return mediator.New(prog, inputs, opts)
+}
