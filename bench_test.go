@@ -405,6 +405,84 @@ func BenchmarkCombine(b *testing.B) {
 	}
 }
 
+// --- E13: the parallel engine -------------------------------------------------
+
+// benchParallelism sweeps the engine's worker-pool width on one
+// workload. The parallelism=1 entry exercises the sequential path;
+// speedup claims compare parallelism=N against it on an N-core
+// runner. Outputs are byte-identical at every width (see
+// TestParallelByteIdenticalOnWorkloads), so this measures pure
+// scheduling gain.
+func benchParallelism(b *testing.B, prog *Program, store *Store) {
+	b.Helper()
+	for _, par := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("parallelism=%d", par)
+		if par == 1 {
+			name = "sequential"
+		}
+		opts := &RunOptions{Parallelism: par}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(prog, store, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelBrochure is the speedup gate of the parallel
+// engine: Rules 1+2 over a large brochure store.
+func BenchmarkParallelBrochure(b *testing.B) {
+	benchParallelism(b, mustProg(b, Rules1And2), workload.BrochureStore(200, 3, 30, 42))
+}
+
+// BenchmarkParallelCarDealer sweeps the heterogeneous-join workload
+// (Rule 3 over brochures × relational rows).
+func BenchmarkParallelCarDealer(b *testing.B) {
+	n := 120
+	pool := workload.Suppliers(n/2+2, 7)
+	brochures := workload.Brochures(n, 2, pool, 7)
+	db := workload.DealerDatabase(brochures, pool, 7)
+	store := NewStore()
+	for i, br := range brochures {
+		store.Put(PlainName(fmt.Sprintf("b%d", i+1)), br.Tree())
+	}
+	for _, e := range ImportRelational(db).Entries() {
+		store.Put(e.Name, e.Tree)
+	}
+	benchParallelism(b, mustProg(b, "program p\n"+yatl.Rule3Source), store)
+}
+
+// BenchmarkParallelWeb sweeps the recursive Web program, whose
+// round-by-round activation discovery bounds the per-round fan-out.
+func BenchmarkParallelWeb(b *testing.B) {
+	benchParallelism(b, mustProg(b, WebRules), workload.ODMGStore(100, 51, 3, 11))
+}
+
+// BenchmarkMediatorConcurrentClients measures a warm mediator under
+// many concurrent askers (b.RunParallel scales clients with
+// GOMAXPROCS) — the serving scenario the thread-safe materialization
+// exists for.
+func BenchmarkMediatorConcurrentClients(b *testing.B) {
+	prog := mustProg(b, Rules1And2)
+	inputs := workload.BrochureStore(50, 3, 20, 21)
+	m := NewMediator(prog, inputs, nil)
+	if _, err := m.Ask(`X`); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := m.Ask(`class -> supplier < -> name -> N, -> city -> C, -> zip -> Z >`, "Psup"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // Mediator query over the virtual target (extension S19): first query
 // pays the materialization, later queries are matching only.
 func BenchmarkMediatorQuery(b *testing.B) {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync"
+
 	"yat/internal/pattern"
 	"yat/internal/tree"
 )
@@ -20,15 +22,19 @@ type Matcher struct {
 	// (§3.5).
 	Model *pattern.Model
 
+	once    sync.Once
 	checker *pattern.ConformanceChecker // lazy, caches conformance results
 }
 
 // conformance returns the cached conformance checker (the store is
 // fixed for the duration of a run, so the conversion happens once).
+// The engine's worker pool matches concurrently through one Matcher,
+// so both the lazy construction and the checker itself are
+// goroutine-safe.
 func (m *Matcher) conformance() *pattern.ConformanceChecker {
-	if m.checker == nil {
+	m.once.Do(func() {
 		m.checker = pattern.NewConformanceChecker(m.Store, m.Model)
-	}
+	})
 	return m.checker
 }
 

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// effectiveWorkers resolves an Options.Parallelism setting to a worker
+// count: 0 and 1 mean sequential, a negative value means one worker
+// per available CPU.
+func effectiveWorkers(parallelism int) int {
+	if parallelism < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if parallelism == 0 {
+		return 1
+	}
+	return parallelism
+}
+
+// cancelErr wraps a context error as an engine error.
+func cancelErr(err error) error {
+	return fmt.Errorf("engine: run cancelled: %w", err)
+}
+
+// forEachIndexed runs fn(0) … fn(n-1), fanning the calls out over at
+// most `workers` goroutines. Each index runs exactly once; callers
+// store results by index and merge them in order afterwards, which is
+// how the engine keeps parallel runs byte-identical to sequential
+// ones. Work is handed out in contiguous chunks through an atomic
+// cursor so small tasks amortize the scheduling cost.
+//
+// The context is checked between chunks (and between items on the
+// sequential path); when it is cancelled the remaining work is skipped
+// and the context's error is returned. Indices already started may
+// still complete.
+func forEachIndexed(ctx context.Context, workers, n int, fn func(int)) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -32,6 +33,19 @@ type Options struct {
 	// of this model; non-conforming outputs are reported as warnings
 	// ("if required by the user, a type checker", §5.1).
 	CheckOutputs *pattern.Model
+	// Parallelism sets the number of worker goroutines used for the
+	// matching (phase 1), evaluation (phases 2–3) and construction
+	// (phases 4–5) work of a run. 0 and 1 run sequentially; a
+	// negative value uses one worker per available CPU. Results are
+	// byte-identical at every setting: workers only compute, and the
+	// engine merges their results in the order the sequential
+	// interpreter would have produced them.
+	Parallelism int
+	// Context cancels a run cooperatively: the engine checks it
+	// between rounds and between work batches and, once cancelled,
+	// stops and returns an error wrapping ctx.Err(). Nil means the
+	// run cannot be cancelled.
+	Context context.Context
 }
 
 // Stats reports work done by a run.
@@ -99,11 +113,17 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 	if maxRounds <= 0 {
 		maxRounds = 10000
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	r := &run{
 		prog:      prog,
 		reg:       reg,
 		opts:      opts,
+		ctx:       ctx,
+		workers:   effectiveWorkers(opts.Parallelism),
 		inputs:    inputs,
 		outputs:   tree.NewStore(),
 		matcher:   &Matcher{Store: inputs, Model: model},
@@ -125,16 +145,25 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 
 	// Activation fixpoint: match new inputs, evaluate new bindings,
 	// discover the Skolem arguments they mint, activate them.
+	// Matching never activates, so all inputs pending at the top of a
+	// round can be matched independently — that is the parallel
+	// fan-out — and their results merged in activation order.
 	rounds := 0
 	for r.processed < len(r.active) {
 		rounds++
 		if rounds > maxRounds {
 			return nil, fmt.Errorf("engine: activation fixpoint did not converge within %d rounds", maxRounds)
 		}
-		for r.processed < len(r.active) {
-			a := r.active[r.processed]
-			r.processed++
-			r.matchActivation(a)
+		pending := r.active[r.processed:]
+		r.processed = len(r.active)
+		results := make([]*matchResult, len(pending))
+		if err := forEachIndexed(r.ctx, r.workers, len(pending), func(i int) {
+			results[i] = r.collectMatches(pending[i])
+		}); err != nil {
+			return nil, cancelErr(err)
+		}
+		for _, mr := range results {
+			r.applyMatches(mr)
 		}
 		// Multi-pattern rules join across all activations; recompute
 		// when their caches grew, then evaluate any new bindings.
@@ -160,6 +189,9 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(err)
+	}
 	if err := expandDerefs(r.outputs); err != nil {
 		return nil, err
 	}
@@ -236,6 +268,8 @@ type run struct {
 	prog    *yatl.Program
 	reg     *Registry
 	opts    *Options
+	ctx     context.Context
+	workers int
 	inputs  *tree.Store
 	outputs *tree.Store
 	matcher *Matcher
@@ -287,40 +321,92 @@ func (r *run) activateValue(v tree.Value) {
 	}
 }
 
-// matchActivation applies phase 1 to one input: per functor group,
+// ruleMatches is the outcome of matching one activation against one
+// rule: bindings for a single-body rule, or per-body-pattern binding
+// lists for a multi-pattern rule (multi non-nil distinguishes them).
+type ruleMatches struct {
+	rule   *yatl.Rule
+	single []Binding
+	multi  [][]Binding
+}
+
+// matchResult is everything phase 1 decides about one activation.
+// Workers compute it from read-only state (the hierarchy, the rule
+// bodies, the input store); the blocking of less specific rules is
+// per-input, so it too is decided locally. applyMatches then merges
+// results into the shared rule state in activation order, which keeps
+// a parallel run's binding order — and therefore every downstream
+// phase — identical to the sequential interpreter's.
+type matchResult struct {
+	a       *activation
+	matched bool
+	perRule []ruleMatches
+}
+
+// collectMatches applies phase 1 to one input: per functor group,
 // rules are tried most-specific-first and a match blocks the less
-// specific conflicting rules for this input (§4.2).
-func (r *run) matchActivation(a *activation) {
+// specific conflicting rules for this input (§4.2). It touches no
+// shared mutable state and is safe to call from multiple goroutines.
+func (r *run) collectMatches(a *activation) *matchResult {
+	mr := &matchResult{a: a}
 	for _, functor := range r.hier.functorOrder {
 		blocked := map[string]bool{}
 		for _, rule := range r.hier.groups[functor] {
 			if blocked[rule.Name] {
 				continue
 			}
-			s := r.ruleState[rule.Name]
 			if len(rule.Body) == 1 {
 				bs := r.matchBodyPattern(rule.Body[0], a)
 				if len(bs) == 0 {
 					continue
 				}
-				a.matched = true
+				mr.matched = true
 				for _, name := range r.hier.blocks[rule.Name] {
 					blocked[name] = true
 				}
-				r.addRaw(s, bs)
+				mr.perRule = append(mr.perRule, ruleMatches{rule: rule, single: bs})
 				continue
 			}
 			// Multi-pattern rule: cache the matches of every body
 			// pattern; the join happens per round.
+			var multi [][]Binding
 			for i := range rule.Body {
 				bs := r.matchBodyPattern(rule.Body[i], a)
 				if len(bs) == 0 {
 					continue
 				}
-				a.matched = true
-				s.perPattern[i] = append(s.perPattern[i], bs...)
-				s.grew = true
+				mr.matched = true
+				if multi == nil {
+					multi = make([][]Binding, len(rule.Body))
+				}
+				multi[i] = bs
 			}
+			if multi != nil {
+				mr.perRule = append(mr.perRule, ruleMatches{rule: rule, multi: multi})
+			}
+		}
+	}
+	return mr
+}
+
+// applyMatches merges one activation's matches into the shared rule
+// state. Called in activation order, single-threaded.
+func (r *run) applyMatches(mr *matchResult) {
+	if mr.matched {
+		mr.a.matched = true
+	}
+	for _, rm := range mr.perRule {
+		s := r.ruleState[rm.rule.Name]
+		if rm.multi == nil {
+			r.addRaw(s, rm.single)
+			continue
+		}
+		for i, bs := range rm.multi {
+			if len(bs) == 0 {
+				continue
+			}
+			s.perPattern[i] = append(s.perPattern[i], bs...)
+			s.grew = true
 		}
 	}
 }
@@ -374,24 +460,62 @@ func (r *run) joinMultiBody(rule *yatl.Rule) {
 // evaluateNewBindings runs phases 2 (external functions with type
 // filtering) and 3 (predicates) over the raw bindings accumulated
 // since the last call, then discovers and activates the Skolem
-// arguments minted by the survivors.
+// arguments minted by the survivors. Bindings are independent of one
+// another, so the evaluation fans out over the worker pool; the merge
+// walks the results in (rule, binding) order, which reproduces the
+// sequential interpreter's evaluated lists, warning order, and — via
+// the discovery loop below — activation order exactly. Discovery is
+// kept out of the parallel section because activateValue appends to
+// the shared activation list; within one call it cannot influence
+// evaluation (new activations are only matched next round), so
+// running it after the whole batch preserves sequential semantics.
 func (r *run) evaluateNewBindings() error {
+	type evalTask struct {
+		rule *yatl.Rule
+		s    *ruleState
+		b    Binding
+	}
+	var tasks []evalTask
 	for _, rule := range r.prog.Rules {
 		if rule.Exception {
 			continue
 		}
 		s := r.ruleState[rule.Name]
 		for ; s.rawNext < len(s.raw); s.rawNext++ {
-			b, ok, err := r.evalBinding(rule, s.raw[s.rawNext])
-			if err != nil {
-				return err
-			}
-			if !ok {
-				continue
-			}
-			s.evaluated = append(s.evaluated, b)
+			tasks = append(tasks, evalTask{rule: rule, s: s, b: s.raw[s.rawNext]})
 		}
-		// Discover activations minted by the new evaluated bindings.
+	}
+	type evalResult struct {
+		b     Binding
+		ok    bool
+		warns []string
+		err   error
+	}
+	results := make([]evalResult, len(tasks))
+	if err := forEachIndexed(r.ctx, r.workers, len(tasks), func(i int) {
+		t := tasks[i]
+		var res evalResult
+		res.b, res.ok, res.warns, res.err = r.evalBinding(t.rule, t.b)
+		results[i] = res
+	}); err != nil {
+		return cancelErr(err)
+	}
+	for i := range results {
+		res := &results[i]
+		r.warnings = append(r.warnings, res.warns...)
+		if res.err != nil {
+			return res.err
+		}
+		if res.ok {
+			tasks[i].s.evaluated = append(tasks[i].s.evaluated, res.b)
+		}
+	}
+	// Discover activations minted by the new evaluated bindings.
+	for _, rule := range r.prog.Rules {
+		if rule.Exception {
+			continue
+		}
+		s := r.ruleState[rule.Name]
 		for ; s.evalNext < len(s.evaluated); s.evalNext++ {
 			b := s.evaluated[s.evalNext]
 			for _, ref := range s.skolemRefs {
@@ -410,82 +534,86 @@ func (r *run) evaluateNewBindings() error {
 }
 
 // evalBinding applies the rule's lets and predicates to one binding.
-func (r *run) evalBinding(rule *yatl.Rule, b Binding) (Binding, bool, error) {
+// It is called from worker goroutines and must not touch shared run
+// state: diagnostics come back as warns for the caller to append in
+// deterministic order.
+func (r *run) evalBinding(rule *yatl.Rule, b Binding) (_ Binding, ok bool, warns []string, err error) {
 	if len(rule.Lets) > 0 {
 		b = b.Clone()
 	}
 	for _, l := range rule.Lets {
 		args, ok := resolveOperands(b, l.Args)
 		if !ok {
-			return nil, false, nil
+			return nil, false, nil, nil
 		}
 		val, typed, err := r.reg.Call(l.Func, args)
 		if err != nil {
 			var raised ErrRaised
 			if errors.As(err, &raised) {
-				return nil, false, err
+				return nil, false, nil, err
 			}
-			r.warn(fmt.Sprintf("rule %s: %v (binding dropped)", rule.Name, err))
-			return nil, false, nil
+			warns = append(warns, fmt.Sprintf("rule %s: %v (binding dropped)", rule.Name, err))
+			return nil, false, warns, nil
 		}
 		if !typed {
-			return nil, false, nil // the §3.1 type filter
+			return nil, false, nil, nil // the §3.1 type filter
 		}
 		b[l.Var] = val
 	}
 	for _, p := range rule.Preds {
-		ok, err := r.evalPred(rule, p, b)
+		ok, pwarns, err := r.evalPred(rule, p, b)
+		warns = append(warns, pwarns...)
 		if err != nil {
-			return nil, false, err
+			return nil, false, warns, err
 		}
 		if !ok {
-			return nil, false, nil
+			return nil, false, warns, nil
 		}
 	}
-	return b, true, nil
+	return b, true, warns, nil
 }
 
-func (r *run) evalPred(rule *yatl.Rule, p yatl.Pred, b Binding) (bool, error) {
+func (r *run) evalPred(rule *yatl.Rule, p yatl.Pred, b Binding) (ok bool, warns []string, err error) {
 	if p.IsCall() {
 		args, ok := resolveOperands(b, p.Args)
 		if !ok {
-			return false, nil
+			return false, nil, nil
 		}
 		res, typed, err := r.reg.CallBool(p.Call, args)
 		if err != nil {
 			var raised ErrRaised
 			if errors.As(err, &raised) {
-				return false, err
+				return false, nil, err
 			}
-			r.warn(fmt.Sprintf("rule %s: %v (binding dropped)", rule.Name, err))
-			return false, nil
+			warns = append(warns, fmt.Sprintf("rule %s: %v (binding dropped)", rule.Name, err))
+			return false, warns, nil
 		}
-		return res && typed, nil
+		return res && typed, nil, nil
 	}
-	left, ok := resolveOperand(b, p.Left)
-	if !ok {
-		return false, nil
+	left, lok := resolveOperand(b, p.Left)
+	if !lok {
+		return false, nil, nil
 	}
-	right, ok := resolveOperand(b, p.Right)
-	if !ok {
-		return false, nil
+	right, rok := resolveOperand(b, p.Right)
+	if !rok {
+		return false, nil, nil
 	}
 	cmp := tree.Compare(left, right)
 	switch p.Op {
 	case yatl.OpEq:
-		return tree.EqualValues(left, right), nil
+		return tree.EqualValues(left, right), nil, nil
 	case yatl.OpNe:
-		return !tree.EqualValues(left, right), nil
+		return !tree.EqualValues(left, right), nil, nil
 	case yatl.OpLt:
-		return cmp < 0, nil
+		return cmp < 0, nil, nil
 	case yatl.OpLe:
-		return cmp <= 0, nil
+		return cmp <= 0, nil, nil
 	case yatl.OpGt:
-		return cmp > 0, nil
+		return cmp > 0, nil, nil
 	case yatl.OpGe:
-		return cmp >= 0, nil
+		return cmp >= 0, nil, nil
 	}
-	return false, fmt.Errorf("engine: rule %s: unknown comparison", rule.Name)
+	return false, nil, fmt.Errorf("engine: rule %s: unknown comparison", rule.Name)
 }
 
 func resolveOperands(b Binding, ops []yatl.Operand) ([]tree.Value, bool) {
@@ -509,7 +637,11 @@ func resolveOperand(b Binding, o yatl.Operand) (tree.Value, bool) {
 }
 
 // constructRule is phase 4+5 for one rule: evaluate the head Skolem
-// per binding, group, and construct the output trees.
+// per binding, group, and construct the output trees. Groups are
+// disjoint, so the tree building fans out over the worker pool; the
+// outputs are then committed in group order so the store's insertion
+// order — and the first-error/non-determinism reporting — matches the
+// sequential interpreter.
 func (r *run) constructRule(rule *yatl.Rule) error {
 	s := r.ruleState[rule.Name]
 	if len(s.evaluated) == 0 {
@@ -537,14 +669,20 @@ func (r *run) constructRule(rule *yatl.Rule) error {
 		index[key] = len(groups)
 		groups = append(groups, oidGroup{oid: oid, bindings: []Binding{b}})
 	}
-	for _, g := range groups {
+	outs := make([]*tree.Node, len(groups))
+	errs := make([]error, len(groups))
+	if err := forEachIndexed(r.ctx, r.workers, len(groups), func(i int) {
 		c := &constructor{
 			rule: rule.Name,
-			oid:  g.oid,
+			oid:  groups[i].oid,
 			hook: func(oid tree.Name, deref bool) {},
 		}
-		out, err := c.construct(rule.Head.Tree, g.bindings)
-		if err != nil {
+		outs[i], errs[i] = c.construct(rule.Head.Tree, groups[i].bindings)
+	}); err != nil {
+		return cancelErr(err)
+	}
+	for i, g := range groups {
+		if err := errs[i]; err != nil {
 			var nd *NonDetError
 			if errors.As(err, &nd) && r.opts.NonDetWarn {
 				r.warn(nd.Error())
@@ -552,6 +690,7 @@ func (r *run) constructRule(rule *yatl.Rule) error {
 			}
 			return err
 		}
+		out := outs[i]
 		if prev, ok := r.outputs.Get(g.oid); ok {
 			if !prev.Equal(out) {
 				ndErr := &NonDetError{Rule: rule.Name, OID: g.oid,

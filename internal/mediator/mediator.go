@@ -11,11 +11,18 @@
 // matching to those outputs. Composition (§4.3) slots in naturally: a
 // mediator over `Compose(prg1, prg2)` answers queries over M3 against
 // M1 sources with no intermediate M2 store at all.
+//
+// A Mediator is safe for concurrent use: a production mediator serves
+// many clients at once, so concurrent Ask/Get/Functors calls share a
+// single materialization (guarded by sync.Once) and then match
+// against the immutable result store without further locking.
 package mediator
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"yat/internal/engine"
 	"yat/internal/pattern"
@@ -23,28 +30,47 @@ import (
 	"yat/internal/yatl"
 )
 
+// generation is one materialization lifetime: Invalidate swaps in a
+// fresh generation, so a query racing an invalidation keeps a
+// consistent view instead of observing a half-cleared cache.
+type generation struct {
+	once   sync.Once
+	done   atomic.Bool
+	result *engine.Result
+	err    error
+}
+
+func (g *generation) materialize(prog *yatl.Program, inputs *tree.Store, opts *engine.Options) (*engine.Result, error) {
+	g.once.Do(func() {
+		g.result, g.err = engine.Run(prog, inputs, opts)
+		g.done.Store(true)
+	})
+	return g.result, g.err
+}
+
 // Mediator answers queries over the virtual target of a conversion.
 type Mediator struct {
 	prog   *yatl.Program
 	inputs *tree.Store
 	opts   *engine.Options
 
-	result *engine.Result
-	err    error
+	mu  sync.Mutex // guards gen
+	gen *generation
 }
 
 // New returns a mediator over the program and sources. Nothing runs
 // until the first query.
 func New(prog *yatl.Program, inputs *tree.Store, opts *engine.Options) *Mediator {
-	return &Mediator{prog: prog, inputs: inputs, opts: opts}
+	return &Mediator{prog: prog, inputs: inputs, opts: opts, gen: &generation{}}
 }
 
-// materialize runs the conversion once.
+// materialize runs the conversion once per generation; concurrent
+// callers block on the same sync.Once and share the outcome.
 func (m *Mediator) materialize() (*engine.Result, error) {
-	if m.result == nil && m.err == nil {
-		m.result, m.err = engine.Run(m.prog, m.inputs, m.opts)
-	}
-	return m.result, m.err
+	m.mu.Lock()
+	g := m.gen
+	m.mu.Unlock()
+	return g.materialize(m.prog, m.inputs, m.opts)
 }
 
 // Answer is one query result: the identity of the target object and
@@ -124,17 +150,23 @@ func (m *Mediator) Functors() ([]string, error) {
 }
 
 // Stats exposes the underlying run's statistics (zero until the first
-// query forces materialization).
+// query forces materialization). It never triggers a materialization
+// itself; the atomic done flag orders the read after the run's writes.
 func (m *Mediator) Stats() engine.Stats {
-	if m.result == nil {
+	m.mu.Lock()
+	g := m.gen
+	m.mu.Unlock()
+	if !g.done.Load() || g.result == nil {
 		return engine.Stats{}
 	}
-	return m.result.Stats
+	return g.result.Stats
 }
 
 // Invalidate drops the materialized target, forcing the next query to
-// reconvert (sources changed).
+// reconvert (sources changed). Queries already running against the
+// old generation finish against its consistent snapshot.
 func (m *Mediator) Invalidate() {
-	m.result = nil
-	m.err = nil
+	m.mu.Lock()
+	m.gen = &generation{}
+	m.mu.Unlock()
 }

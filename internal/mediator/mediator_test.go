@@ -1,9 +1,13 @@
 package mediator
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"yat/internal/compose"
+	"yat/internal/engine"
 	"yat/internal/tree"
 	"yat/internal/workload"
 	"yat/internal/yatl"
@@ -136,6 +140,85 @@ func TestMediatorOverComposedProgram(t *testing.T) {
 	if !sawCar || !sawSupplier {
 		t.Errorf("expected both car and supplier pages (car %v, supplier %v)", sawCar, sawSupplier)
 	}
+}
+
+// TestConcurrentAskSingleMaterialization hammers one mediator from
+// many goroutines: the conversion must run exactly once (counted via
+// an external function the rule calls per input) and every client
+// must see the same answers. Run with -race this is the correctness
+// gate for the mediator's concurrency.
+func TestConcurrentAskSingleMaterialization(t *testing.T) {
+	const inputs, clients = 8, 16
+	var calls atomic.Int64
+	reg := engine.NewRegistry()
+	reg.Register(engine.Func{
+		Name: "count_me", Params: []engine.ParamType{engine.Text}, Result: engine.Text,
+		Fn: func(args []tree.Value) (tree.Value, error) {
+			calls.Add(1)
+			return args[0], nil
+		},
+	})
+	prog := yatl.MustParse(`
+program counted
+rule R {
+  head Pout(X) = out -> V
+  from X = in -> D
+  let V = count_me(D)
+}
+`)
+	store := tree.NewStore()
+	for i := 0; i < inputs; i++ {
+		store.Put(tree.PlainName(fmt.Sprintf("i%d", i+1)), tree.Sym("in", tree.Str(fmt.Sprintf("v%d", i+1))))
+	}
+	m := New(prog, store, &engine.Options{Registry: reg, Parallelism: 4})
+
+	var wg sync.WaitGroup
+	counts := make([]int, clients)
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			answers, err := m.Ask(`out -> V`)
+			counts[c], errs[c] = len(answers), err
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			t.Fatalf("client %d: %v", c, errs[c])
+		}
+		if counts[c] != inputs {
+			t.Errorf("client %d saw %d answers, want %d", c, counts[c], inputs)
+		}
+	}
+	if got := calls.Load(); got != inputs {
+		t.Errorf("external function ran %d times, want %d (single materialization)", got, inputs)
+	}
+}
+
+// TestConcurrentMixedUse exercises Ask, Get, Functors and Stats
+// concurrently against one mediator.
+func TestConcurrentMixedUse(t *testing.T) {
+	m := newCarMediator(t, 10)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Ask(`class -> car -*> X`); err != nil {
+				t.Error(err)
+			}
+			if _, _, err := m.Get(tree.SkolemName("Pcar", tree.Ref{Name: tree.PlainName("b1")})); err != nil {
+				t.Error(err)
+			}
+			if _, err := m.Functors(); err != nil {
+				t.Error(err)
+			}
+			m.Stats()
+		}()
+	}
+	wg.Wait()
 }
 
 func TestAskParseError(t *testing.T) {

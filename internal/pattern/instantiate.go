@@ -3,6 +3,7 @@ package pattern
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"yat/internal/tree"
 )
@@ -71,10 +72,14 @@ func Conforms(t *tree.Node, store *tree.Store, gen *Model, genName string) bool 
 // model, resolving references through a fixed store. The store-to-
 // ground-model conversion happens once and results are cached per
 // (node, pattern) pair, so per-binding domain checks during rule
-// matching stay cheap.
+// matching stay cheap. The checker is safe for concurrent use: the
+// engine's parallel matching phase shares one checker across its
+// worker goroutines.
 type ConformanceChecker struct {
 	instM *Model
 	gen   *Model
+
+	mu    sync.RWMutex
 	cache map[conformKey]bool
 }
 
@@ -93,19 +98,25 @@ func NewConformanceChecker(store *tree.Store, gen *Model) *ConformanceChecker {
 	return &ConformanceChecker{instM: instM, gen: gen, cache: make(map[conformKey]bool)}
 }
 
-// Conforms reports whether t is an instance of pattern genName.
+// Conforms reports whether t is an instance of pattern genName. Two
+// goroutines racing on an uncached pair both compute the (identical,
+// deterministic) answer; the duplicated work is bounded and the cache
+// stays consistent.
 func (cc *ConformanceChecker) Conforms(t *tree.Node, genName string) bool {
 	key := conformKey{node: t, pat: genName}
-	if res, ok := cc.cache[key]; ok {
+	cc.mu.RLock()
+	res, ok := cc.cache[key]
+	cc.mu.RUnlock()
+	if ok {
 		return res
 	}
-	q, ok := cc.gen.Get(genName)
-	if !ok {
-		cc.cache[key] = false
-		return false
+	res = false
+	if q, ok := cc.gen.Get(genName); ok {
+		res = newChecker(cc.instM, cc.gen).patternBranchesTree(GroundTree(t), q)
 	}
-	res := newChecker(cc.instM, cc.gen).patternBranchesTree(GroundTree(t), q)
+	cc.mu.Lock()
 	cc.cache[key] = res
+	cc.mu.Unlock()
 	return res
 }
 
