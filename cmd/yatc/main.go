@@ -21,7 +21,14 @@
 //	           over HTTP — the paper's CGI usage of the generated
 //	           executable
 //	-check     type check: print the inferred signature and exit
+//	-force     run even when static analysis reports errors
 //	-stats     print run statistics to stderr
+//
+// Before executing, yatc runs the full static-analysis suite
+// (internal/analysis) over every loaded program: warnings and errors
+// are printed to stderr, and errors abort the run unless -force is
+// given — compile-time rejection with positioned diagnostics instead
+// of a failure halfway through a conversion.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"strings"
 
 	"yat"
+	"yat/internal/analysis"
 	"yat/internal/library"
 	"yat/internal/sgml"
 	"yat/internal/tree"
@@ -52,6 +60,7 @@ func main() {
 		serveFlag   = flag.String("serve", "", "address to serve HtmlPage outputs over HTTP (e.g. :8080)")
 		outFlag     = flag.String("out", "", "output store file; default stdout")
 		checkFlag   = flag.Bool("check", false, "print the inferred signature and exit")
+		forceFlag   = flag.Bool("force", false, "run even when static analysis reports errors")
 		statsFlag   = flag.Bool("stats", false, "print run statistics to stderr")
 	)
 	flag.Parse()
@@ -63,9 +72,11 @@ func main() {
 
 	prog, err := loadProgram(*programFlag)
 	fail(err)
+	analyzeOrFail(*programFlag, prog, *forceFlag)
 	if *composeFlag != "" {
 		second, err := loadProgram(*composeFlag)
 		fail(err)
+		analyzeOrFail(*composeFlag, second, *forceFlag)
 		prog, err = yat.ComposePrograms(prog, second, nil)
 		fail(err)
 		fmt.Fprintf(os.Stderr, "yatc: composed %s (%d fused rules)\n", prog.Name, len(prog.Rules))
@@ -117,6 +128,31 @@ func main() {
 		return
 	}
 	fail(os.WriteFile(*outFlag, []byte(dump), 0o644))
+}
+
+// analyzeOrFail runs the static-analysis suite over a program before
+// execution, printing warnings and errors to stderr. Error-severity
+// findings abort the run unless -force was given.
+func analyzeOrFail(name string, prog *yat.Program, force bool) {
+	diags, err := analysis.Run(prog, analysis.DefaultAnalyzers(), nil)
+	fail(err)
+	errors := 0
+	for _, d := range diags {
+		if d.Severity < analysis.SeverityWarning {
+			continue
+		}
+		if d.Severity >= analysis.SeverityError {
+			errors++
+		}
+		fmt.Fprintf(os.Stderr, "yatc: %s:%s\n", name, d)
+	}
+	if errors > 0 && !force {
+		fmt.Fprintf(os.Stderr, "yatc: %s: rejected by static analysis (%d error(s)); use -force to run anyway\n", name, errors)
+		os.Exit(1)
+	}
+	if errors > 0 {
+		fmt.Fprintf(os.Stderr, "yatc: %s: running despite %d analysis error(s) (-force)\n", name, errors)
+	}
 }
 
 func loadProgram(spec string) (*yat.Program, error) {

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCheck(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func writeProgram(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cleanSource = `
+program clean
+
+rule R {
+  head P(SN) = class -> name -> SN
+  from B = doc -> supplier -> SN
+}
+`
+
+const brokenSource = `
+program broken
+
+rule R {
+  head P(X) = class -> name -> SN
+  from B = doc -> supplier -> SN
+}
+`
+
+func TestCleanProgramExitsZero(t *testing.T) {
+	path := writeProgram(t, "clean.yatl", cleanSource)
+	code, stdout, stderr := runCheck(t, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if strings.Contains(stdout, "error:") {
+		t.Errorf("unexpected errors in output: %s", stdout)
+	}
+}
+
+func TestBrokenProgramExitsOne(t *testing.T) {
+	path := writeProgram(t, "broken.yatl", brokenSource)
+	code, stdout, _ := runCheck(t, path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output: %s", code, stdout)
+	}
+	want := path + ":5:8: error: [range-restriction]"
+	if !strings.Contains(stdout, want) {
+		t.Errorf("output missing %q:\n%s", want, stdout)
+	}
+}
+
+func TestSeverityThreshold(t *testing.T) {
+	path := writeProgram(t, "broken.yatl", brokenSource)
+	if code, _, _ := runCheck(t, "-severity", "info", path); code != 1 {
+		t.Errorf("info threshold on broken program: exit %d, want 1", code)
+	}
+	if code, _, stderr := runCheck(t, "-severity", "bogus", path); code != 2 {
+		t.Errorf("bogus severity: exit %d, want 2 (stderr: %s)", code, stderr)
+	}
+}
+
+func TestSyntaxErrorHasPosition(t *testing.T) {
+	path := writeProgram(t, "bad.yatl", "program p\n\nrule R {\n  head P(X = class\n}\n")
+	code, stdout, _ := runCheck(t, path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output: %s", code, stdout)
+	}
+	if !strings.Contains(stdout, "[syntax]") {
+		t.Errorf("syntax error not categorised: %s", stdout)
+	}
+	if !strings.Contains(stdout, path+":4:") {
+		t.Errorf("syntax diagnostic missing line position: %s", stdout)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := writeProgram(t, "broken.yatl", brokenSource)
+	code, stdout, _ := runCheck(t, "-json", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Severity string `json:"severity"`
+		Category string `json:"category"`
+		Message  string `json:"message"`
+		Pos      struct {
+			Line int `json:"line"`
+			Col  int `json:"col"`
+		} `json:"pos"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Category == "range-restriction" && d.Severity == "error" && d.Pos.Line == 5 && d.Pos.Col == 8 {
+			found = true
+			if d.File != path {
+				t.Errorf("file = %q, want %q", d.File, path)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("JSON output missing the range-restriction error:\n%s", stdout)
+	}
+}
+
+func TestBuiltinProgramsPassGate(t *testing.T) {
+	code, _, stderr := runCheck(t, "-severity", "warning", "-builtin")
+	if code != 0 {
+		t.Fatalf("builtin programs fail the warning gate: exit %d\n%s", code, stderr)
+	}
+}
+
+func TestNoInputIsUsageError(t *testing.T) {
+	if code, _, _ := runCheck(t); code != 2 {
+		t.Errorf("no input: exit %d, want 2", code)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, _ := runCheck(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range []string{"range-restriction", "safety", "typing", "coverage"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestMissingFileExitsTwo(t *testing.T) {
+	if code, _, _ := runCheck(t, filepath.Join(t.TempDir(), "nope.yatl")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"strings"
+
+	"yat/internal/engine"
+	"yat/internal/typing"
+)
+
+// Safety re-exposes the §3.4 safe-recursion check
+// (engine.SafetyViolations) as an analysis pass: one positioned error
+// per rule whose Skolem functor lies on a dereference cycle without
+// being safe-recursive.
+var Safety = &Analyzer{
+	Name: "safety",
+	Doc:  "dereference cycles between Skolem functors must be safe-recursive (§3.4)",
+	Run: func(pass *Pass) error {
+		for _, v := range engine.SafetyViolations(pass.Prog) {
+			pass.Reportf(v.Rule.Head.Pos, SeverityError,
+				"rule %s: functor %s lies on a dereference cycle (%s) and is not safe-recursive: %s",
+				v.Rule.Name, v.Functor, strings.Join(v.Cycle, " -> "), v.Reason)
+		}
+		return nil
+	},
+}
+
+// Typing re-exposes the §3.5 domain inference (typing.CheckRules) as
+// an analysis pass: incompatible variable domains, unknown external
+// functions and arity mismatches become positioned errors.
+var Typing = &Analyzer{
+	Name: "typing",
+	Doc:  "variable domains, external function signatures and predicates must agree (§3.5)",
+	Run: func(pass *Pass) error {
+		for _, issue := range typing.CheckRules(pass.Prog, pass.Registry) {
+			msg := strings.TrimPrefix(issue.Err.Error(), "typing: ")
+			pass.Reportf(issue.Rule.Pos, SeverityError, "%s", msg)
+		}
+		return nil
+	},
+}
+
+// Coverage re-exposes typing.Coverage as an analysis pass: for every
+// model the program declares, report the patterns no rule body
+// matches — data the program would silently ignore (the situation the
+// §3.5 exception rule only detects at run time).
+var Coverage = &Analyzer{
+	Name: "coverage",
+	Doc:  "declared input patterns should be matched by some rule body (§3.5)",
+	Run: func(pass *Pass) error {
+		for _, decl := range pass.Prog.Models {
+			for _, name := range typing.Coverage(pass.Prog, decl.Model) {
+				if strings.HasPrefix(name, "(") {
+					continue // inference failure: the typing pass reports it with a position
+				}
+				pass.Reportf(decl.Pos, SeverityInfo,
+					"pattern %s of model %s is not matched by any rule body; such inputs are silently ignored", name, decl.Name)
+			}
+		}
+		return nil
+	},
+}

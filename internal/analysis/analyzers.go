@@ -1,0 +1,639 @@
+package analysis
+
+import (
+	"fmt"
+
+	"yat/internal/pattern"
+	"yat/internal/yatl"
+)
+
+// varUse is one occurrence of a variable with its source position.
+type varUse struct {
+	Name string
+	Pos  Pos
+}
+
+// treeVarUses collects every variable occurrence in a pattern tree:
+// label variables and Skolem argument variables at the node position,
+// ordering criteria and index variables at the edge position.
+func treeVarUses(t *pattern.PTree) []varUse {
+	var out []varUse
+	var walk func(pt *pattern.PTree)
+	walk = func(pt *pattern.PTree) {
+		if pt == nil {
+			return
+		}
+		switch l := pt.Label.(type) {
+		case pattern.Var:
+			out = append(out, varUse{l.Name, pt.Pos})
+		case pattern.PatRef:
+			for _, a := range l.Args {
+				if a.IsVar {
+					out = append(out, varUse{a.Var, pt.Pos})
+				}
+			}
+		}
+		for _, e := range pt.Edges {
+			pos := e.Pos
+			if !pos.IsValid() {
+				pos = pt.Pos
+			}
+			if e.Index != "" {
+				out = append(out, varUse{e.Index, pos})
+			}
+			for _, v := range e.OrderBy {
+				out = append(out, varUse{v, pos})
+			}
+			walk(e.To)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// operandVars lists the variable operands with the given fallback
+// position.
+func operandVars(ops []yatl.Operand, pos Pos) []varUse {
+	var out []varUse
+	for _, o := range ops {
+		if o.IsVar {
+			out = append(out, varUse{o.Var, pos})
+		}
+	}
+	return out
+}
+
+// predVars lists the variables a predicate reads.
+func predVars(p yatl.Pred) []varUse {
+	if p.IsCall() {
+		return operandVars(p.Args, p.Pos)
+	}
+	var out []varUse
+	if p.Left.IsVar {
+		out = append(out, varUse{p.Left.Var, p.Pos})
+	}
+	if p.Right.IsVar {
+		out = append(out, varUse{p.Right.Var, p.Pos})
+	}
+	return out
+}
+
+// bodyBound returns the set of variables bound by the rule's body
+// patterns: the pattern variables themselves plus every variable
+// occurring in the body trees (label, Skolem argument, index and
+// ordering variables all receive bindings during matching).
+func bodyBound(r *yatl.Rule) map[string]bool {
+	bound := map[string]bool{}
+	for _, bp := range r.Body {
+		bound[bp.Var] = true
+		for _, v := range bp.Tree.Vars() {
+			bound[v] = true
+		}
+	}
+	return bound
+}
+
+// RangeRestriction rejects rules whose head, predicates or external
+// calls use variables that no body pattern binds — the classic
+// range-restriction (safety) condition of datalog-style languages:
+// an unbound head variable would make the rule mint unbounded output.
+var RangeRestriction = &Analyzer{
+	Name: "range-restriction",
+	Doc:  "head, predicate and let variables must be bound by a body pattern",
+	Run: func(pass *Pass) error {
+		for _, r := range pass.Prog.Rules {
+			bound := bodyBound(r)
+			// Lets bind sequentially: each may use body variables and
+			// the results of earlier lets.
+			for _, l := range r.Lets {
+				for _, u := range operandVars(l.Args, l.Pos) {
+					if !bound[u.Name] {
+						pass.Reportf(u.Pos, SeverityError,
+							"rule %s: let argument %s is not bound by any body pattern or earlier let", r.Name, u.Name)
+					}
+				}
+				bound[l.Var] = true
+			}
+			for _, p := range r.Preds {
+				for _, u := range predVars(p) {
+					if !bound[u.Name] {
+						pass.Reportf(u.Pos, SeverityError,
+							"rule %s: predicate uses variable %s, which is not bound by any body pattern or let", r.Name, u.Name)
+					}
+				}
+			}
+			if r.Exception {
+				continue
+			}
+			for _, a := range r.Head.Args {
+				if a.IsVar && !bound[a.Var] {
+					pass.Reportf(r.Head.Pos, SeverityError,
+						"rule %s: Skolem argument %s is not bound by any body pattern or let", r.Name, a.Var)
+				}
+			}
+			seen := map[string]bool{}
+			for _, u := range treeVarUses(r.Head.Tree) {
+				if !bound[u.Name] && !seen[u.Name] {
+					seen[u.Name] = true
+					pass.Reportf(u.Pos, SeverityError,
+						"rule %s: head variable %s is not bound by any body pattern or let", r.Name, u.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// UnusedVars flags variables that are bound but never read: let
+// results nothing consumes (a wasted external call — warning) and
+// body variables that occur exactly once (informational; matching a
+// subtree into a throwaway variable is common YATL idiom, but worth
+// surfacing).
+var UnusedVars = &Analyzer{
+	Name: "unused-var",
+	Doc:  "bound variables should be used somewhere in the rule",
+	Run: func(pass *Pass) error {
+		for _, r := range pass.Prog.Rules {
+			used := map[string]bool{}
+			for _, a := range r.Head.Args {
+				if a.IsVar {
+					used[a.Var] = true
+				}
+			}
+			if r.Head.Tree != nil {
+				for _, u := range treeVarUses(r.Head.Tree) {
+					used[u.Name] = true
+				}
+			}
+			for _, p := range r.Preds {
+				for _, u := range predVars(p) {
+					used[u.Name] = true
+				}
+			}
+			for _, l := range r.Lets {
+				for _, u := range operandVars(l.Args, l.Pos) {
+					used[u.Name] = true
+				}
+			}
+			// Occurrence counts across all body trees: a variable
+			// appearing twice in the body is a join constraint and
+			// counts as used even if the head ignores it.
+			count := map[string]int{}
+			first := map[string]Pos{}
+			for _, bp := range r.Body {
+				count[bp.Var]++
+				if _, ok := first[bp.Var]; !ok {
+					first[bp.Var] = bp.Pos
+				}
+				for _, u := range treeVarUses(bp.Tree) {
+					count[u.Name]++
+					if _, ok := first[u.Name]; !ok {
+						first[u.Name] = u.Pos
+					}
+				}
+			}
+			reported := map[string]bool{}
+			for _, bp := range r.Body {
+				if !used[bp.Var] && count[bp.Var] == 1 && !reported[bp.Var] {
+					reported[bp.Var] = true
+					pass.Reportf(bp.Pos, SeverityInfo,
+						"rule %s: body pattern variable %s is never used", r.Name, bp.Var)
+				}
+				for _, u := range treeVarUses(bp.Tree) {
+					if !used[u.Name] && count[u.Name] == 1 && !reported[u.Name] {
+						reported[u.Name] = true
+						pass.Reportf(u.Pos, SeverityInfo,
+							"rule %s: variable %s is bound but never used", r.Name, u.Name)
+					}
+				}
+			}
+			for i, l := range r.Lets {
+				if used[l.Var] {
+					continue
+				}
+				laterUse := false
+				for _, later := range r.Lets[i+1:] {
+					for _, u := range operandVars(later.Args, later.Pos) {
+						if u.Name == l.Var {
+							laterUse = true
+						}
+					}
+				}
+				if !laterUse {
+					pass.Reportf(l.Pos, SeverityWarning,
+						"rule %s: let-bound variable %s is never used (the external call %s is wasted)", r.Name, l.Var, l.Func)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// RuleNames rejects duplicate rule and model names and order
+// constraints over undefined rules.
+var RuleNames = &Analyzer{
+	Name: "rule-names",
+	Doc:  "rule and model names must be unique; order constraints must name real rules",
+	Run: func(pass *Pass) error {
+		prog := pass.Prog
+		firstRule := map[string]*yatl.Rule{}
+		for _, r := range prog.Rules {
+			if prev, ok := firstRule[r.Name]; ok {
+				pass.Report(Diagnostic{
+					Pos:      r.Pos,
+					Severity: SeverityError,
+					Message:  fmt.Sprintf("duplicate rule name %s shadows an earlier rule", r.Name),
+					Related:  []Related{{Pos: prev.Pos, Message: "first declaration"}},
+				})
+				continue
+			}
+			firstRule[r.Name] = r
+		}
+		firstModel := map[string]*yatl.ModelDecl{}
+		for _, m := range prog.Models {
+			if prev, ok := firstModel[m.Name]; ok {
+				pass.Report(Diagnostic{
+					Pos:      m.Pos,
+					Severity: SeverityError,
+					Message:  fmt.Sprintf("duplicate model name %s shadows an earlier model", m.Name),
+					Related:  []Related{{Pos: prev.Pos, Message: "first declaration"}},
+				})
+				continue
+			}
+			firstModel[m.Name] = m
+		}
+		for _, o := range prog.Orders {
+			if o.Before == o.After {
+				pass.Reportf(o.Pos, SeverityError, "order constraint %s before %s is circular", o.Before, o.After)
+				continue
+			}
+			for _, name := range []string{o.Before, o.After} {
+				if _, ok := firstRule[name]; !ok {
+					pass.Reportf(o.Pos, SeverityError, "order constraint names undefined rule %s", name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// functorDefs maps each Skolem functor defined by the program to its
+// first defining head.
+func functorDefs(prog *yatl.Program) map[string]*yatl.Rule {
+	defs := map[string]*yatl.Rule{}
+	for _, r := range prog.Rules {
+		if r.Exception {
+			continue
+		}
+		if _, ok := defs[r.Head.Functor]; !ok {
+			defs[r.Head.Functor] = r
+		}
+	}
+	return defs
+}
+
+// SkolemArity checks that every use of a Skolem functor — further
+// head definitions, dereferences ^F(...) and references &F(...) —
+// agrees with the arity of its first defining head. Mismatched
+// arities mint identities that can never join.
+var SkolemArity = &Analyzer{
+	Name: "skolem-arity",
+	Doc:  "every use of a Skolem functor must match its defining arity",
+	Run: func(pass *Pass) error {
+		prog := pass.Prog
+		defs := functorDefs(prog)
+		for _, r := range prog.Rules {
+			if r.Exception {
+				continue
+			}
+			def := defs[r.Head.Functor]
+			if def != r && len(r.Head.Args) != len(def.Head.Args) {
+				pass.Report(Diagnostic{
+					Pos:      r.Head.Pos,
+					Severity: SeverityError,
+					Message: fmt.Sprintf("rule %s defines functor %s with %d arguments, but rule %s defines it with %d",
+						r.Name, r.Head.Functor, len(r.Head.Args), def.Name, len(def.Head.Args)),
+					Related: []Related{{Pos: def.Head.Pos, Message: "first definition"}},
+				})
+			}
+			r.Head.Tree.Walk(func(pt *pattern.PTree) bool {
+				ref, ok := pt.Label.(pattern.PatRef)
+				if !ok {
+					return true
+				}
+				def, defined := defs[ref.Name]
+				if !defined {
+					return true // UndefinedRef reports these
+				}
+				if len(ref.Args) != len(def.Head.Args) {
+					pass.Report(Diagnostic{
+						Pos:      pt.Pos,
+						Severity: SeverityError,
+						Message: fmt.Sprintf("rule %s invokes functor %s with %d arguments, but it is defined with %d",
+							r.Name, ref.Name, len(ref.Args), len(def.Head.Args)),
+						Related: []Related{{Pos: def.Head.Pos, Message: "definition"}},
+					})
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// declaredPatterns returns the set of pattern names defined by the
+// program's model declarations.
+func declaredPatterns(prog *yatl.Program) map[string]bool {
+	out := map[string]bool{}
+	for _, m := range prog.Models {
+		for _, name := range m.Model.Names() {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// UndefinedRef rejects dereferences and references of names that are
+// neither Skolem functors of the program nor patterns of a declared
+// model — a dereference of an undefined functor fails at construction
+// time. Inside body patterns the check degrades to a warning when the
+// program declares no models (the resolution context may be supplied
+// externally, e.g. by Instantiate).
+var UndefinedRef = &Analyzer{
+	Name: "undefined-ref",
+	Doc:  "pattern references must resolve to a functor or a declared pattern",
+	Run: func(pass *Pass) error {
+		prog := pass.Prog
+		defs := functorDefs(prog)
+		pats := declaredPatterns(prog)
+		known := func(name string) bool {
+			_, isFunctor := defs[name]
+			return isFunctor || pats[name]
+		}
+		refKind := func(ref pattern.PatRef) string {
+			if ref.Ref {
+				return "reference to"
+			}
+			return "dereference of"
+		}
+		bodySev := SeverityError
+		if len(prog.Models) == 0 {
+			bodySev = SeverityWarning
+		}
+		for _, r := range prog.Rules {
+			if r.Head.Tree != nil {
+				r.Head.Tree.Walk(func(pt *pattern.PTree) bool {
+					if ref, ok := pt.Label.(pattern.PatRef); ok && !known(ref.Name) {
+						pass.Reportf(pt.Pos, SeverityError,
+							"rule %s: %s undefined functor or pattern %s", r.Name, refKind(ref), ref.Name)
+					}
+					return true
+				})
+			}
+			for _, bp := range r.Body {
+				if bp.Domain != "" && !known(bp.Domain) {
+					pass.Reportf(bp.Pos, bodySev,
+						"rule %s: body pattern domain %s is not defined by any declared model", r.Name, bp.Domain)
+				}
+				bp.Tree.Walk(func(pt *pattern.PTree) bool {
+					switch l := pt.Label.(type) {
+					case pattern.PatRef:
+						if !known(l.Name) {
+							pass.Reportf(pt.Pos, bodySev,
+								"rule %s: %s undefined pattern %s in body", r.Name, refKind(l), l.Name)
+						}
+					case pattern.Var:
+						if l.Domain.IsPattern() && !known(l.Domain.Pattern) {
+							pass.Reportf(pt.Pos, bodySev,
+								"rule %s: variable %s has undefined pattern domain %s", r.Name, l.Name, l.Domain.Pattern)
+						}
+					}
+					return true
+				})
+			}
+		}
+		// Model declarations must be internally resolvable (the
+		// positioned counterpart of Model.Validate).
+		for _, m := range prog.Models {
+			for _, p := range m.Model.Patterns() {
+				for _, t := range p.Union {
+					t.Walk(func(pt *pattern.PTree) bool {
+						switch l := pt.Label.(type) {
+						case pattern.PatRef:
+							if !pats[l.Name] {
+								pass.Reportf(pt.Pos, SeverityError,
+									"model %s: pattern %s references undefined pattern %s", m.Name, p.Name, l.Name)
+							}
+						case pattern.Var:
+							if l.Domain.IsPattern() && !pats[l.Domain.Pattern] {
+								pass.Reportf(pt.Pos, SeverityError,
+									"model %s: pattern %s: variable %s has undefined pattern domain %s", m.Name, p.Name, l.Name, l.Domain.Pattern)
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// structuralVars returns the variables of a rule that bind whole
+// subtrees rather than scalar leaves: body pattern identities,
+// variables labeling body nodes that have outgoing edges, and
+// variables with a pattern domain.
+func structuralVars(r *yatl.Rule) map[string]bool {
+	out := map[string]bool{}
+	for _, bp := range r.Body {
+		out[bp.Var] = true
+		bp.Tree.Walk(func(pt *pattern.PTree) bool {
+			if v, ok := pt.Label.(pattern.Var); ok {
+				if len(pt.Edges) > 0 || v.Domain.IsPattern() {
+					out[v.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// PredSanity flags predicates that can never do useful work:
+// comparisons between two constants, and comparisons that apply a
+// scalar test to a variable bound to a whole subtree (a grouped /
+// structured binding has no order relative to a number or string).
+var PredSanity = &Analyzer{
+	Name: "pred-sanity",
+	Doc:  "predicate operands must be comparable: no constant-only or subtree-vs-scalar comparisons",
+	Run: func(pass *Pass) error {
+		for _, r := range pass.Prog.Rules {
+			structural := structuralVars(r)
+			for _, p := range r.Preds {
+				if p.IsCall() {
+					continue
+				}
+				if !p.Left.IsVar && !p.Right.IsVar {
+					pass.Reportf(p.Pos, SeverityWarning,
+						"rule %s: predicate %s compares two constants and is always true or always false", r.Name, p.String())
+					continue
+				}
+				ordering := p.Op == yatl.OpLt || p.Op == yatl.OpLe || p.Op == yatl.OpGt || p.Op == yatl.OpGe
+				sides := [2]yatl.Operand{p.Left, p.Right}
+				for i, side := range sides {
+					if !side.IsVar || !structural[side.Var] {
+						continue
+					}
+					other := sides[1-i]
+					switch {
+					case ordering:
+						pass.Reportf(p.Pos, SeverityError,
+							"rule %s: ordering comparison on %s, which binds a whole subtree, not a scalar", r.Name, side.Var)
+					case !other.IsVar:
+						pass.Reportf(p.Pos, SeverityError,
+							"rule %s: %s binds a whole subtree and cannot equal the scalar constant %s", r.Name, side.Var, other.Const.Display())
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// Collections checks the collection-construction primitives of §3.3:
+// ordering criteria must occur below their ordered edge (otherwise
+// every group element sorts on the same unbound value), index edges
+// must not sit under duplicate-eliminating grouping (positions are
+// not stable after dedup), and grouping indicators are meaningless in
+// body patterns.
+var Collections = &Analyzer{
+	Name: "collection",
+	Doc:  "ordered/grouped/index edges must be well-formed",
+	Run: func(pass *Pass) error {
+		for _, r := range pass.Prog.Rules {
+			if r.Head.Tree != nil {
+				checkHeadCollections(pass, r, r.Head.Tree, false)
+			}
+			for _, bp := range r.Body {
+				bp.Tree.Walk(func(pt *pattern.PTree) bool {
+					for _, e := range pt.Edges {
+						if e.Occ == pattern.OccGroup || e.Occ == pattern.OccOrdered {
+							pos := e.Pos
+							if !pos.IsValid() {
+								pos = pt.Pos
+							}
+							pass.Reportf(pos, SeverityWarning,
+								"rule %s: grouping indicator %s in a body pattern has no effect; use -*>", r.Name, e.Occ)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	},
+}
+
+func checkHeadCollections(pass *Pass, r *yatl.Rule, t *pattern.PTree, underGroup bool) {
+	for _, e := range t.Edges {
+		pos := e.Pos
+		if !pos.IsValid() {
+			pos = t.Pos
+		}
+		below := underGroup
+		switch e.Occ {
+		case pattern.OccOrdered:
+			belowVars := map[string]bool{}
+			for _, v := range e.To.Vars() {
+				belowVars[v] = true
+			}
+			seen := map[string]bool{}
+			for _, crit := range e.OrderBy {
+				if seen[crit] {
+					pass.Reportf(pos, SeverityWarning,
+						"rule %s: duplicate ordering criterion %s", r.Name, crit)
+				}
+				seen[crit] = true
+				if !belowVars[crit] {
+					pass.Reportf(pos, SeverityError,
+						"rule %s: ordering criterion %s does not occur below the ordered edge, so every element sorts on the same value", r.Name, crit)
+				}
+			}
+			below = true
+		case pattern.OccGroup:
+			below = true
+		case pattern.OccIndex:
+			if underGroup {
+				pass.Reportf(pos, SeverityError,
+					"rule %s: index edge -#%s> under a grouping edge: element positions are not stable after duplicate elimination", r.Name, e.Index)
+			}
+		}
+		checkHeadCollections(pass, r, e.To, below)
+	}
+}
+
+// ExceptionRules checks the §3.5 exception mechanism: an exception
+// rule fires only for inputs no other rule converted, so it is
+// unreachable when an unconditional rule already matches everything
+// it matches; and order constraints have no effect on exceptions.
+var ExceptionRules = &Analyzer{
+	Name: "exception",
+	Doc:  "exception rules must be reachable and outside order constraints",
+	Run: func(pass *Pass) error {
+		prog := pass.Prog
+		model := pattern.NewModel()
+		for _, m := range prog.Models {
+			model = model.Merge(m.Model)
+		}
+		exceptions := map[string]*yatl.Rule{}
+		var first *yatl.Rule
+		for _, r := range prog.Rules {
+			if !r.Exception {
+				continue
+			}
+			exceptions[r.Name] = r
+			if first == nil {
+				first = r
+			} else {
+				pass.Report(Diagnostic{
+					Pos:      r.Pos,
+					Severity: SeverityWarning,
+					Message:  fmt.Sprintf("rule %s: multiple exception rules; each fires for every unconverted input", r.Name),
+					Related:  []Related{{Pos: first.Pos, Message: "first exception rule"}},
+				})
+			}
+		}
+		if len(exceptions) == 0 {
+			return nil
+		}
+		for _, o := range prog.Orders {
+			for _, name := range []string{o.Before, o.After} {
+				if _, ok := exceptions[name]; ok {
+					pass.Reportf(o.Pos, SeverityWarning,
+						"order constraint on exception rule %s has no effect: exceptions always run last", name)
+				}
+			}
+		}
+		for _, e := range exceptions {
+			if len(e.Body) != 1 {
+				continue
+			}
+			for _, r := range prog.Rules {
+				if r.Exception || len(r.Body) != 1 || len(r.Preds) > 0 || len(r.Lets) > 0 {
+					continue
+				}
+				if pattern.TreeInstanceOfLoose(model, e.Body[0].Tree, model, r.Body[0].Tree) {
+					pass.Report(Diagnostic{
+						Pos:      e.Pos,
+						Severity: SeverityWarning,
+						Message: fmt.Sprintf("exception rule %s can never fire: rule %s unconditionally converts every input it matches",
+							e.Name, r.Name),
+						Related: []Related{{Pos: r.Pos, Message: "covering rule"}},
+					})
+					break
+				}
+			}
+		}
+		return nil
+	},
+}

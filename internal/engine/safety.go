@@ -23,33 +23,56 @@ import (
 // cycles at run time (the recursion strictly descends the finite
 // input tree).
 func CheckSafety(prog *yatl.Program) error {
+	violations := SafetyViolations(prog)
+	if len(violations) == 0 {
+		return nil
+	}
+	var errs []string
+	for _, v := range violations {
+		errs = append(errs, fmt.Sprintf("rule %s (functor %s): %s", v.Rule.Name, v.Functor, v.Reason))
+	}
+	return fmt.Errorf("engine: potentially cyclic program (dereferenced Skolem cycle through %s) and not safe-recursive:\n  %s",
+		strings.Join(violations[0].Cycle, " -> "), strings.Join(errs, "\n  "))
+}
+
+// SafetyViolation is one rule failing the §3.4 safe-recursion check:
+// its functor lies on a dereference cycle and the rule is not
+// syntactically safe-recursive.
+type SafetyViolation struct {
+	Rule    *yatl.Rule
+	Functor string
+	Reason  string
+	// Cycle lists (sorted) every functor participating in a
+	// dereference cycle of the program.
+	Cycle []string
+}
+
+// SafetyViolations is the structured form of CheckSafety: it returns
+// one violation per offending rule, in declaration order, so callers
+// (the analysis driver) can attach positions and related information
+// instead of a flat error string. An empty slice means the program is
+// safe.
+func SafetyViolations(prog *yatl.Program) []SafetyViolation {
 	deps := derefDependencies(prog)
 	cyclic := functorsOnCycles(deps)
 	if len(cyclic) == 0 {
 		return nil
 	}
-	var errs []string
+	names := make([]string, 0, len(cyclic))
+	for f := range cyclic {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	var out []SafetyViolation
 	for _, r := range prog.Rules {
-		if r.Exception {
-			continue
-		}
-		if !cyclic[r.Head.Functor] {
+		if r.Exception || !cyclic[r.Head.Functor] {
 			continue
 		}
 		if why := safeRecursive(r, cyclic); why != "" {
-			errs = append(errs, fmt.Sprintf("rule %s (functor %s): %s", r.Name, r.Head.Functor, why))
+			out = append(out, SafetyViolation{Rule: r, Functor: r.Head.Functor, Reason: why, Cycle: names})
 		}
 	}
-	if len(errs) > 0 {
-		names := make([]string, 0, len(cyclic))
-		for f := range cyclic {
-			names = append(names, f)
-		}
-		sort.Strings(names)
-		return fmt.Errorf("engine: potentially cyclic program (dereferenced Skolem cycle through %s) and not safe-recursive:\n  %s",
-			strings.Join(names, " -> "), strings.Join(errs, "\n  "))
-	}
-	return nil
+	return out
 }
 
 // derefDependencies returns, per head functor, the set of functors it

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"yat/internal/yatl"
+)
+
+// TestSafetyThreeFunctorCycle covers mutual recursion across three
+// Skolem functors: F derefs G, G derefs H, H derefs F. None of the
+// rules is safe-recursive (the functors take data variables, not the
+// body pattern variable), so all three must be reported, each naming
+// the full cycle.
+func TestSafetyThreeFunctorCycle(t *testing.T) {
+	src := `
+program p
+rule A {
+  head F(SN) = fa -> ^G(SN)
+  from X = a -> SN
+}
+rule B {
+  head G(SN) = fb -> ^H(SN)
+  from X = b -> SN
+}
+rule C {
+  head H(SN) = fc -> ^F(SN)
+  from X = c -> SN
+}
+`
+	prog := yatl.MustParse(src)
+	violations := SafetyViolations(prog)
+	if len(violations) != 3 {
+		t.Fatalf("got %d violations, want 3: %+v", len(violations), violations)
+	}
+	wantCycle := []string{"F", "G", "H"}
+	for i, v := range violations {
+		if len(v.Cycle) != 3 {
+			t.Fatalf("violation %d cycle = %v, want %v", i, v.Cycle, wantCycle)
+		}
+		for j, f := range wantCycle {
+			if v.Cycle[j] != f {
+				t.Errorf("violation %d cycle = %v, want %v", i, v.Cycle, wantCycle)
+			}
+		}
+	}
+	// Declaration order: A, B, C.
+	for i, name := range []string{"A", "B", "C"} {
+		if violations[i].Rule.Name != name {
+			t.Errorf("violation %d is rule %s, want %s", i, violations[i].Rule.Name, name)
+		}
+	}
+	if err := CheckSafety(prog); err == nil {
+		t.Error("three-functor deref cycle accepted")
+	} else if !strings.Contains(err.Error(), "F -> G -> H") {
+		t.Errorf("error does not name the cycle: %v", err)
+	}
+}
+
+// TestSafetyThreeFunctorCycleSafe is the same ring, rewritten to be
+// safe-recursive: each functor's sole parameter is the body pattern
+// variable and every recursive invocation descends into a proper
+// subtree. The cycle is then permitted.
+func TestSafetyThreeFunctorCycleSafe(t *testing.T) {
+	src := `
+program p
+rule A {
+  head F(X) = fa -*> ^G(Y)
+  from X = a -*> Y
+}
+rule B {
+  head G(X) = fb -*> ^H(Y)
+  from X = b -*> Y
+}
+rule C {
+  head H(X) = fc -*> ^F(Y)
+  from X = c -*> Y
+}
+`
+	if err := CheckSafety(yatl.MustParse(src)); err != nil {
+		t.Errorf("safe-recursive three-functor ring rejected: %v", err)
+	}
+}
+
+// TestSafetyExceptionRulesOnCycle: exception rules have no head, so
+// they neither contribute dereference edges nor can they be reported
+// as violations — even when the rest of the program is a cyclic mess.
+func TestSafetyExceptionRulesOnCycle(t *testing.T) {
+	src := `
+program p
+rule A {
+  head F(SN) = fa -> ^G(SN)
+  from X = a -> SN
+}
+rule B {
+  head G(SN) = fb -> ^F(SN)
+  from X = b -> SN
+}
+rule Exc {
+  exception
+  from Pany = Data
+}
+`
+	prog := yatl.MustParse(src)
+	violations := SafetyViolations(prog)
+	if len(violations) != 2 {
+		t.Fatalf("got %d violations, want 2: %+v", len(violations), violations)
+	}
+	for _, v := range violations {
+		if v.Rule.Exception {
+			t.Errorf("exception rule %s reported as a safety violation", v.Rule.Name)
+		}
+	}
+	// The safe variant of the same ring stays accepted with the
+	// exception rule present.
+	safe := `
+program p
+rule A {
+  head F(X) = fa -*> ^G(Y)
+  from X = a -*> Y
+}
+rule B {
+  head G(X) = fb -*> ^F(Y)
+  from X = b -*> Y
+}
+rule Exc {
+  exception
+  from Pany = Data
+}
+`
+	if err := CheckSafety(yatl.MustParse(safe)); err != nil {
+		t.Errorf("exception rule must not break a safe cycle: %v", err)
+	}
+}
+
+// TestSafetyTwoLevelDescent: a recursive rule whose invocation
+// descends two levels into the input (node -*> mid -*> Z) is still a
+// proper subtree and therefore safe; passing the root variable
+// itself is not.
+func TestSafetyTwoLevelDescent(t *testing.T) {
+	safe := `
+program p
+rule R {
+  head F(X) = wrap -*> inner -*> ^F(Z)
+  from X = node -*> mid -*> Z
+}
+`
+	if err := CheckSafety(yatl.MustParse(safe)); err != nil {
+		t.Errorf("two-level descent rejected: %v", err)
+	}
+	unsafe := `
+program p
+rule R {
+  head F(X) = wrap -*> inner -*> ^F(X)
+  from X = node -*> mid -*> Z
+}
+`
+	if err := CheckSafety(yatl.MustParse(unsafe)); err == nil {
+		t.Error("recursion on the root variable accepted despite two-level body")
+	}
+}
+
+// TestSafetyViolationsEmptyForAcyclic pins the structured API: an
+// acyclic program yields a nil slice, and CheckSafety stays quiet.
+func TestSafetyViolationsEmptyForAcyclic(t *testing.T) {
+	prog := yatl.MustParse(yatl.SGMLToODMGSource)
+	if v := SafetyViolations(prog); v != nil {
+		t.Errorf("acyclic program has violations: %+v", v)
+	}
+}

@@ -1,0 +1,64 @@
+package library
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"yat/internal/yatl"
+)
+
+// TestExamplePrograms keeps examples/programs/ (the corpus the CI
+// yatcheck gate runs over) in sync with the builtin sources: same set
+// of programs, same text modulo leading/trailing blank lines.
+func TestExamplePrograms(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "programs")
+	sources := map[string]string{
+		"sgml2odmg":      yatl.SGMLToODMGSource,
+		"sgml2odmgTyped": yatl.AnnotatedSGMLToODMGSource,
+		"sgml2odmgPrime": yatl.SGMLToODMGPrimeSource,
+		"odmg2html":      yatl.WebProgramSource,
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".yatl" {
+			continue
+		}
+		onDisk[strings.TrimSuffix(e.Name(), ".yatl")] = true
+	}
+	for name := range sources {
+		if !onDisk[name] {
+			t.Errorf("examples/programs/%s.yatl missing", name)
+		}
+	}
+	for name := range onDisk {
+		if _, ok := sources[name]; !ok {
+			t.Errorf("examples/programs/%s.yatl has no builtin source", name)
+		}
+	}
+	for name, src := range sources {
+		data, err := os.ReadFile(filepath.Join(dir, name+".yatl"))
+		if err != nil {
+			t.Errorf("read %s: %v", name, err)
+			continue
+		}
+		want := strings.TrimSpace(src)
+		got := strings.TrimSpace(string(data))
+		if got != want {
+			t.Errorf("examples/programs/%s.yatl is out of sync with its builtin source", name)
+		}
+		prog, err := yatl.Parse(string(data))
+		if err != nil {
+			t.Errorf("parse %s: %v", name, err)
+			continue
+		}
+		if prog.Name != name {
+			t.Errorf("program %s declares name %s", name, prog.Name)
+		}
+	}
+}

@@ -151,12 +151,14 @@ type Edge struct {
 	OrderBy []string // OccOrdered: criteria variables, significant order
 	Index   string   // OccIndex: position variable
 	To      *PTree
+	Pos     Pos // source position of the edge arrow, if parsed
 }
 
 // PTree is a pattern tree: a labeled node with annotated edges.
 type PTree struct {
 	Label Label
 	Edges []Edge
+	Pos   Pos // source position of the label, if parsed
 }
 
 // NewConst returns a pattern node with a constant label.
@@ -204,7 +206,7 @@ func (t *PTree) Clone() *PTree {
 	if t == nil {
 		return nil
 	}
-	c := &PTree{Label: t.Label}
+	c := &PTree{Label: t.Label, Pos: t.Pos}
 	if len(t.Edges) > 0 {
 		c.Edges = make([]Edge, len(t.Edges))
 		for i, e := range t.Edges {
@@ -213,6 +215,7 @@ func (t *PTree) Clone() *PTree {
 				OrderBy: append([]string(nil), e.OrderBy...),
 				Index:   e.Index,
 				To:      e.To.Clone(),
+				Pos:     e.Pos,
 			}
 		}
 	}

@@ -1,0 +1,36 @@
+package pattern
+
+import "fmt"
+
+// Pos is a source position (1-based line and column) in the YATL
+// concrete syntax the node was parsed from. The zero Pos means the
+// node was built programmatically and has no source location.
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// IsValid reports whether the position refers to an actual source
+// location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col", or "-" when the node has
+// no source location.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Before reports whether p sorts before q in source order; invalid
+// positions sort last.
+func (p Pos) Before(q Pos) bool {
+	if p.IsValid() != q.IsValid() {
+		return p.IsValid()
+	}
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}

@@ -101,6 +101,29 @@ func Infer(prog *yatl.Program, reg *engine.Registry) (*Signature, error) {
 	return sig, nil
 }
 
+// RuleIssue is one rule-level typing problem found by CheckRules.
+type RuleIssue struct {
+	Rule *yatl.Rule
+	Err  error
+}
+
+// CheckRules runs the §3.5 domain inference rule by rule and returns
+// every failure (incompatible variable domains, unknown external
+// functions, arity mismatches) instead of stopping at the first one,
+// so the analysis driver can report a positioned diagnostic per rule.
+func CheckRules(prog *yatl.Program, reg *engine.Registry) []RuleIssue {
+	if reg == nil {
+		reg = engine.NewRegistry()
+	}
+	var out []RuleIssue
+	for _, r := range prog.Rules {
+		if _, err := ruleDomains(r, reg); err != nil {
+			out = append(out, RuleIssue{Rule: r, Err: err})
+		}
+	}
+	return out
+}
+
 // addBranch appends a union branch, dropping exact duplicates (the
 // same body pattern shared by several rules contributes once).
 func addBranch(branches []*pattern.PTree, t *pattern.PTree) []*pattern.PTree {
@@ -334,10 +357,24 @@ func Coverage(prog *yatl.Program, declared *pattern.Model) []string {
 	if err != nil {
 		return []string{fmt.Sprintf("(inference failed: %v)", err)}
 	}
+	// Only patterns inferred from rule bodies count as coverage:
+	// Infer also merges the program's declared models into sig.In as
+	// resolution context, and matching a declared pattern against its
+	// own declaration would make every in-program model trivially
+	// covered.
+	bodyVars := map[string]bool{}
+	for _, r := range prog.Rules {
+		for _, bp := range r.Body {
+			bodyVars[bp.Var] = true
+		}
+	}
 	var uncovered []string
 	for _, p := range declared.Patterns() {
 		matched := false
 		for _, q := range sig.In.Patterns() {
+			if !bodyVars[q.Name] {
+				continue
+			}
 			for _, branchP := range p.Union {
 				for _, branchQ := range q.Union {
 					if pattern.TreeInstanceOfLoose(declared, branchP, sig.In, branchQ) {

@@ -36,6 +36,11 @@ import (
 	"yat/internal/tree"
 )
 
+// Pos is a source position in YATL concrete syntax (an alias of
+// pattern.Pos so both packages speak the same coordinates). AST nodes
+// built programmatically carry the zero Pos.
+type Pos = pattern.Pos
+
 // Program is a named set of rules plus optional model declarations
 // and explicit rule-ordering constraints (§4.2 allows the user to
 // enforce a hierarchy).
@@ -50,11 +55,13 @@ type Program struct {
 type ModelDecl struct {
 	Name  string
 	Model *pattern.Model
+	Pos   Pos
 }
 
 // Order is an explicit precedence constraint between two rules.
 type Order struct {
 	Before, After string
+	Pos           Pos
 }
 
 // Rule is one YATL rule.
@@ -65,6 +72,7 @@ type Rule struct {
 	Preds     []Pred
 	Lets      []Let
 	Exception bool // exception rule: empty head, fires when nothing else matched
+	Pos       Pos  // position of the rule name
 }
 
 // Head is the rule head: a Skolem functor with arguments naming the
@@ -73,6 +81,7 @@ type Head struct {
 	Functor string
 	Args    []pattern.Arg
 	Tree    *pattern.PTree
+	Pos     Pos // position of the functor
 }
 
 // BodyPattern is one input pattern of a rule body. Var is the pattern
@@ -83,6 +92,7 @@ type BodyPattern struct {
 	Var    string
 	Domain string
 	Tree   *pattern.PTree
+	Pos    Pos // position of the pattern variable
 }
 
 // CmpOp is a comparison operator in a predicate.
@@ -151,6 +161,7 @@ type Pred struct {
 	// Call form:
 	Call string
 	Args []Operand
+	Pos  Pos // position of the predicate's first token
 }
 
 // IsCall reports whether the predicate is a boolean function call.
@@ -170,6 +181,7 @@ type Let struct {
 	Var  string
 	Func string
 	Args []Operand
+	Pos  Pos // position of the bound variable
 }
 
 // String renders the let clause.
@@ -208,9 +220,11 @@ func (r *Rule) Clone() *Rule {
 	c := &Rule{
 		Name:      r.Name,
 		Exception: r.Exception,
+		Pos:       r.Pos,
 		Head: Head{
 			Functor: r.Head.Functor,
 			Args:    append([]pattern.Arg(nil), r.Head.Args...),
+			Pos:     r.Head.Pos,
 		},
 		Preds: append([]Pred(nil), r.Preds...),
 		Lets:  make([]Let, len(r.Lets)),
@@ -219,13 +233,13 @@ func (r *Rule) Clone() *Rule {
 		c.Head.Tree = r.Head.Tree.Clone()
 	}
 	for i, l := range r.Lets {
-		c.Lets[i] = Let{Var: l.Var, Func: l.Func, Args: append([]Operand(nil), l.Args...)}
+		c.Lets[i] = Let{Var: l.Var, Func: l.Func, Args: append([]Operand(nil), l.Args...), Pos: l.Pos}
 	}
 	for i := range c.Preds {
 		c.Preds[i].Args = append([]Operand(nil), r.Preds[i].Args...)
 	}
 	for _, bp := range r.Body {
-		c.Body = append(c.Body, BodyPattern{Var: bp.Var, Domain: bp.Domain, Tree: bp.Tree.Clone()})
+		c.Body = append(c.Body, BodyPattern{Var: bp.Var, Domain: bp.Domain, Tree: bp.Tree.Clone(), Pos: bp.Pos})
 	}
 	return c
 }

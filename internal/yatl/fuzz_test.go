@@ -1,0 +1,70 @@
+package yatl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the YATL parser. The parser must
+// never panic: every input either yields a program or a *ParseError
+// carrying a position inside the input. Seeds are the paper's fixture
+// programs plus small inputs that exercise each syntactic corner
+// (models, order constraints, typed leaves, collection edges).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		Rule1Source,
+		Rule2Source,
+		Rule1PrimeSource,
+		Rule3Source,
+		Rule4Source,
+		Rule5Source,
+		SGMLToODMGSource,
+		AnnotatedSGMLToODMGSource,
+		SGMLToODMGPrimeSource,
+		WebProgramSource,
+		CyclicProgramSource,
+		ExceptionRuleSource,
+		ODMGModelSource,
+		"",
+		"program p\n",
+		"program p\nrule R { head P(X) = a -> X from B = b -> X }",
+		"program p\nrule R { exception from B = T }",
+		"program p\norder R before S\n",
+		"program p\nmodel M { P = a -> X : string|int }",
+		"program p\nrule R { head P(B) = list -[X]> set -{}> a -#I> X from B = b -> X }",
+		"program p\nrule R { head P(B) = a -> ^Q(B) / &Q(B) from B = c < -> d -> E, -> f -*> G > }",
+		"program p\nrule R { head P(X) = a -> X from B = b -> X : int where X > 1975 let Y = city(X) }",
+		"rule R {",
+		"program\n\x00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil {
+			if prog == nil {
+				t.Fatal("Parse returned nil program and nil error")
+			}
+			// A successfully parsed program must survive cloning and
+			// re-analysis of its rules (exercises the AST invariants
+			// downstream passes rely on).
+			for _, r := range prog.Rules {
+				r.Clone()
+			}
+			return
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Fatalf("Parse error is %T, want *ParseError: %v", err, err)
+		}
+		if !strings.HasPrefix(pe.Error(), "yatl: ") {
+			t.Fatalf("error message missing yatl prefix: %q", pe.Error())
+		}
+		if pe.Pos.IsValid() {
+			lines := strings.Count(src, "\n") + 1
+			if pe.Pos.Line < 1 || pe.Pos.Line > lines+1 {
+				t.Fatalf("error position %s outside input (%d lines)", pe.Pos, lines)
+			}
+		}
+	})
+}

@@ -75,7 +75,7 @@ func newLexer(src string) *lexer {
 }
 
 func (l *lexer) errorf(line, col int, format string, args ...interface{}) error {
-	return fmt.Errorf("yatl: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return &ParseError{Pos: Pos{Line: line, Col: col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (l *lexer) advance(w int) {

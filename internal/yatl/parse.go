@@ -146,6 +146,22 @@ func MustParseModel(src string) *pattern.Model {
 
 // --- parser machinery ---------------------------------------------------
 
+// ParseError is a YATL syntax error carrying the source position of
+// the offending token, so tools (yatcheck, yatc) can point at the
+// exact location instead of echoing only the token text.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error renders the error as "yatl: line:col: msg".
+func (e *ParseError) Error() string {
+	if !e.Pos.IsValid() {
+		return "yatl: " + e.Msg
+	}
+	return fmt.Sprintf("yatl: %s: %s", e.Pos, e.Msg)
+}
+
 type parser struct {
 	toks []token
 	pos  int
@@ -177,8 +193,13 @@ func (p *parser) next() token {
 }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.at(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// at returns the source position of the current token.
+func (p *parser) at() Pos {
 	t := p.tok()
-	return fmt.Errorf("yatl: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+	return Pos{Line: t.line, Col: t.col}
 }
 
 func (p *parser) expect(k tokKind) (token, error) {
@@ -229,6 +250,7 @@ func (p *parser) parseOrder() (Order, error) {
 	if err := p.expectKeyword("order"); err != nil {
 		return Order{}, err
 	}
+	pos := p.at()
 	before, err := p.expectIdent()
 	if err != nil {
 		return Order{}, err
@@ -240,13 +262,14 @@ func (p *parser) parseOrder() (Order, error) {
 	if err != nil {
 		return Order{}, err
 	}
-	return Order{Before: before, After: after}, nil
+	return Order{Before: before, After: after, Pos: pos}, nil
 }
 
 func (p *parser) parseModelDecl() (*ModelDecl, error) {
 	if err := p.expectKeyword("model"); err != nil {
 		return nil, err
 	}
+	pos := p.at()
 	name, err := p.expectIdent()
 	if err != nil {
 		return nil, err
@@ -279,13 +302,14 @@ func (p *parser) parseModelDecl() (*ModelDecl, error) {
 		m.Add(pattern.NewPattern(patName, union...))
 	}
 	p.next() // consume }
-	return &ModelDecl{Name: name, Model: m}, nil
+	return &ModelDecl{Name: name, Model: m, Pos: pos}, nil
 }
 
 func (p *parser) parseRule() (*Rule, error) {
 	if err := p.expectKeyword("rule"); err != nil {
 		return nil, err
 	}
+	rulePos := p.at()
 	name, err := p.expectIdent()
 	if err != nil {
 		return nil, err
@@ -293,7 +317,7 @@ func (p *parser) parseRule() (*Rule, error) {
 	if _, err := p.expect(tLBrace); err != nil {
 		return nil, err
 	}
-	r := &Rule{Name: name}
+	r := &Rule{Name: name, Pos: rulePos}
 	sawHead := false
 	for p.tok().kind != tRBrace {
 		switch {
@@ -303,6 +327,7 @@ func (p *parser) parseRule() (*Rule, error) {
 			}
 			sawHead = true
 			p.next()
+			headPos := p.at()
 			functor, err := p.expectIdent()
 			if err != nil {
 				return nil, err
@@ -321,7 +346,7 @@ func (p *parser) parseRule() (*Rule, error) {
 			if err != nil {
 				return nil, err
 			}
-			r.Head = Head{Functor: functor, Args: args, Tree: t}
+			r.Head = Head{Functor: functor, Args: args, Tree: t, Pos: headPos}
 		case p.atKeyword("exception"):
 			if sawHead {
 				return nil, p.errorf("rule %s has both head and exception", name)
@@ -331,11 +356,12 @@ func (p *parser) parseRule() (*Rule, error) {
 			r.Exception = true
 		case p.atKeyword("from"):
 			p.next()
+			fromPos := p.at()
 			v, err := p.expectIdent()
 			if err != nil {
 				return nil, err
 			}
-			bp := BodyPattern{Var: v}
+			bp := BodyPattern{Var: v, Pos: fromPos}
 			if p.tok().kind == tColon {
 				p.next()
 				dom, err := p.expectIdent()
@@ -362,6 +388,7 @@ func (p *parser) parseRule() (*Rule, error) {
 			r.Preds = append(r.Preds, pred)
 		case p.atKeyword("let"):
 			p.next()
+			letPos := p.at()
 			v, err := p.expectIdent()
 			if err != nil {
 				return nil, err
@@ -377,22 +404,23 @@ func (p *parser) parseRule() (*Rule, error) {
 			if err != nil {
 				return nil, err
 			}
-			r.Lets = append(r.Lets, Let{Var: v, Func: fn, Args: ops})
+			r.Lets = append(r.Lets, Let{Var: v, Func: fn, Args: ops, Pos: letPos})
 		default:
 			return nil, p.errorf("expected head, exception, from, where or let; found %q", p.tok().text)
 		}
 	}
 	p.next() // consume }
 	if !sawHead {
-		return nil, fmt.Errorf("yatl: rule %s has no head", name)
+		return nil, &ParseError{Pos: rulePos, Msg: fmt.Sprintf("rule %s has no head", name)}
 	}
 	if len(r.Body) == 0 {
-		return nil, fmt.Errorf("yatl: rule %s has no body pattern", name)
+		return nil, &ParseError{Pos: rulePos, Msg: fmt.Sprintf("rule %s has no body pattern", name)}
 	}
 	return r, nil
 }
 
 func (p *parser) parsePred() (Pred, error) {
+	pos := p.at()
 	// Call form: ident '(' ... ')'.
 	if p.tok().kind == tIdent && p.peek().kind == tLParen && !isUpper(p.tok().text) {
 		fn := p.next().text
@@ -400,7 +428,7 @@ func (p *parser) parsePred() (Pred, error) {
 		if err != nil {
 			return Pred{}, err
 		}
-		return Pred{Call: fn, Args: ops}, nil
+		return Pred{Call: fn, Args: ops, Pos: pos}, nil
 	}
 	left, err := p.parseOperand()
 	if err != nil {
@@ -428,7 +456,7 @@ func (p *parser) parsePred() (Pred, error) {
 	if err != nil {
 		return Pred{}, err
 	}
-	return Pred{Left: left, Op: op, Right: right}, nil
+	return Pred{Left: left, Op: op, Right: right, Pos: pos}, nil
 }
 
 func (p *parser) parseOperands() ([]Operand, error) {
@@ -548,6 +576,16 @@ func (p *parser) parsePTree() (*pattern.PTree, error) {
 }
 
 func (p *parser) parseEdge() (pattern.Edge, error) {
+	pos := p.at()
+	e, err := p.parseEdgeArrow()
+	if err != nil {
+		return e, err
+	}
+	e.Pos = pos
+	return e, nil
+}
+
+func (p *parser) parseEdgeArrow() (pattern.Edge, error) {
 	switch p.tok().kind {
 	case tArrowOne:
 		p.next()
@@ -613,6 +651,16 @@ func (p *parser) parseEdge() (pattern.Edge, error) {
 }
 
 func (p *parser) parseLabelNode() (*pattern.PTree, error) {
+	pos := p.at()
+	node, err := p.parseLabelNodeAt()
+	if err != nil {
+		return nil, err
+	}
+	node.Pos = pos
+	return node, nil
+}
+
+func (p *parser) parseLabelNodeAt() (*pattern.PTree, error) {
 	switch p.tok().kind {
 	case tCaret, tAmp:
 		isRef := p.tok().kind == tAmp

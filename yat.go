@@ -37,6 +37,7 @@
 package yat
 
 import (
+	"yat/internal/analysis"
 	"yat/internal/compose"
 	"yat/internal/engine"
 	"yat/internal/library"
@@ -140,6 +141,30 @@ func NewRegistry() *Registry { return engine.NewRegistry() }
 
 // CheckSafety runs the §3.4 static cycle analysis.
 func CheckSafety(prog *Program) error { return engine.CheckSafety(prog) }
+
+// Static analysis (the yatcheck framework).
+type (
+	// Diagnostic is one positioned static-analysis finding.
+	Diagnostic = analysis.Diagnostic
+	// Severity grades a diagnostic (info, warning, error).
+	Severity = analysis.Severity
+)
+
+// The diagnostic severities.
+const (
+	SeverityInfo    = analysis.SeverityInfo
+	SeverityWarning = analysis.SeverityWarning
+	SeverityError   = analysis.SeverityError
+)
+
+// Analyze runs the full static-analysis suite (range restriction,
+// unused variables, rule names, Skolem arities, undefined references,
+// predicate sanity, collection primitives, exception reachability,
+// §3.4 safety, §3.5 typing and coverage) over a program and returns
+// the diagnostics sorted by source position.
+func Analyze(prog *Program) ([]Diagnostic, error) {
+	return analysis.Run(prog, analysis.DefaultAnalyzers(), nil)
+}
 
 // Typing.
 var (
