@@ -511,3 +511,49 @@ func BenchmarkMediatorQuery(b *testing.B) {
 		}
 	})
 }
+
+// --- E14: the trace layer ----------------------------------------------------
+
+// BenchmarkRunNilSink is the zero-overhead gate for the trace layer:
+// with Options.Trace nil the engine must construct no events, take no
+// timestamps and allocate nothing on behalf of tracing, so this must
+// stay within noise of the pre-trace engine (CI's bench-guard job
+// compares it against the merge base with benchstat).
+func BenchmarkRunNilSink(b *testing.B) {
+	prog := mustProg(b, Rules1And2)
+	store := workload.BrochureStore(60, 3, 15, 42)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			opts := &RunOptions{Parallelism: par}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(prog, store, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunWithProfile prices the enabled path on the same
+// workload as BenchmarkRunNilSink: the delta between the two is the
+// full cost of observability (event construction, timestamps, and the
+// Profile's locked aggregation).
+func BenchmarkRunWithProfile(b *testing.B) {
+	prog := mustProg(b, Rules1And2)
+	store := workload.BrochureStore(60, 3, 15, 42)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				profile := NewTraceProfile()
+				if _, err := Run(prog, store, &RunOptions{Parallelism: par, Trace: profile}); err != nil {
+					b.Fatal(err)
+				}
+				if profile.Events() == 0 {
+					b.Fatal("profile saw no events")
+				}
+			}
+		})
+	}
+}

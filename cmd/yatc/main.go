@@ -23,6 +23,9 @@
 //	-check     type check: print the inferred signature and exit
 //	-force     run even when static analysis reports errors
 //	-stats     print run statistics to stderr
+//	-explain   print a per-rule/per-phase EXPLAIN profile of the run
+//	           to stderr (match counts, dropped bindings by reason,
+//	           external-function calls, Skolems, wall times)
 //
 // Before executing, yatc runs the full static-analysis suite
 // (internal/analysis) over every loaded program: warnings and errors
@@ -62,6 +65,7 @@ func main() {
 		checkFlag   = flag.Bool("check", false, "print the inferred signature and exit")
 		forceFlag   = flag.Bool("force", false, "run even when static analysis reports errors")
 		statsFlag   = flag.Bool("stats", false, "print run statistics to stderr")
+		explainFlag = flag.Bool("explain", false, "print a per-rule EXPLAIN profile to stderr")
 	)
 	flag.Parse()
 	if *programFlag == "" {
@@ -92,7 +96,13 @@ func main() {
 	inputs, err := loadInputs(*inputFlag, *sgmlFlag, *dtdFlag)
 	fail(err)
 
-	result, err := yat.Run(prog, inputs, nil)
+	var opts *yat.RunOptions
+	var profile *yat.TraceProfile
+	if *explainFlag {
+		profile = yat.NewTraceProfile()
+		opts = &yat.RunOptions{Trace: profile}
+	}
+	result, err := yat.Run(prog, inputs, opts)
 	fail(err)
 	for _, w := range result.Warnings {
 		fmt.Fprintln(os.Stderr, "yatc: warning:", w)
@@ -101,6 +111,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "yatc: %d inputs, %d bindings, %d outputs, %d rounds\n",
 			result.Stats.Activations, result.Stats.Bindings,
 			result.Stats.Outputs, result.Stats.Rounds)
+	}
+	if *explainFlag {
+		fail(profile.Render(os.Stderr, true))
 	}
 
 	if *serveFlag != "" {

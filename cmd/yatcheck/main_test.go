@@ -76,6 +76,83 @@ func TestSeverityThreshold(t *testing.T) {
 	}
 }
 
+// warningOnlySource is clean apart from unused-var findings: the
+// unused body variable B is info, the unused let-binding U a warning.
+// No analyzer reports an error for it.
+const warningOnlySource = `
+program warnonly
+
+rule R {
+  head P(SN) = class -> name -> SN
+  from B = doc -> supplier -> A
+  let SN = city(A)
+  let U = zip(A)
+}
+`
+
+// TestSeverityThresholdEdges pins the gate at exactly the boundary: a
+// program whose worst finding is a warning passes -severity error but
+// fails -severity warning and -severity info. The diagnostics print
+// either way — the threshold decides the exit code, not the output.
+func TestSeverityThresholdEdges(t *testing.T) {
+	path := writeProgram(t, "warn.yatl", warningOnlySource)
+	for _, tc := range []struct {
+		severity string
+		want     int
+	}{
+		{"error", 0},
+		{"warning", 1},
+		{"info", 1},
+	} {
+		code, stdout, stderr := runCheck(t, "-severity", tc.severity, path)
+		if code != tc.want {
+			t.Errorf("-severity %s: exit %d, want %d (stderr: %s)", tc.severity, code, tc.want, stderr)
+		}
+		if !strings.Contains(stdout, "warning: [unused-var]") {
+			t.Errorf("-severity %s suppressed the warning diagnostic:\n%s", tc.severity, stdout)
+		}
+		if tc.want == 0 && strings.Contains(stderr, "finding(s)") {
+			t.Errorf("-severity %s reported failure on a passing run: %s", tc.severity, stderr)
+		}
+	}
+	// The default threshold is error, so the bare invocation passes too.
+	if code, _, stderr := runCheck(t, path); code != 0 {
+		t.Errorf("default threshold: exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+}
+
+// TestSeverityJSONStable pins the machine-readable path at the edge:
+// the JSON body is byte-identical across repeat runs and across
+// thresholds — only the exit code moves with -severity.
+func TestSeverityJSONStable(t *testing.T) {
+	path := writeProgram(t, "warn.yatl", warningOnlySource)
+	code, first, _ := runCheck(t, "-json", "-severity", "error", path)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	var diags []struct {
+		Severity string `json:"severity"`
+		Category string `json:"category"`
+	}
+	if err := json.Unmarshal([]byte(first), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, first)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics in JSON output")
+	}
+	for _, d := range diags {
+		if d.Severity == "error" {
+			t.Errorf("warning-only program produced an error diagnostic: %+v", d)
+		}
+	}
+	if code, again, _ := runCheck(t, "-json", "-severity", "error", path); code != 0 || again != first {
+		t.Error("JSON output differs between identical runs")
+	}
+	if code, gated, _ := runCheck(t, "-json", "-severity", "warning", path); code != 1 || gated != first {
+		t.Errorf("JSON body must not change with the threshold (exit %d)", code)
+	}
+}
+
 func TestSyntaxErrorHasPosition(t *testing.T) {
 	path := writeProgram(t, "bad.yatl", "program p\n\nrule R {\n  head P(X = class\n}\n")
 	code, stdout, _ := runCheck(t, path)

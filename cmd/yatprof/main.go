@@ -1,0 +1,128 @@
+// Yatprof runs a YATL conversion under the tracing layer and prints
+// an EXPLAIN profile of the run: which rules fired, how many bindings
+// each phase saw and dropped (with reasons), which external functions
+// were called and how often, how many Skolem identities were minted,
+// and where the wall time went. It is the observability companion to
+// yatc — same program and input conventions, but the converted store
+// is discarded and the profile is the output.
+//
+// Usage:
+//
+//	yatprof -program <file.yatl | name> [flags]
+//
+//	-program      a .yatl file, or the name of a built-in library
+//	              program (sgml2odmg, sgml2odmgTyped, sgml2odmgPrime,
+//	              odmg2html)
+//	-input        input store in YAT tree syntax (default: stdin)
+//	-json         emit the profile as JSON instead of the text table
+//	-timing       include wall-clock times (off by default so output
+//	              is deterministic and diffable)
+//	-parallelism  worker count for the run (0 = sequential)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"yat"
+	"yat/internal/library"
+	"yat/internal/tree"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses args, executes the program
+// under a profile sink, and writes the rendered profile to stdout.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("yatprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		programFlag = fs.String("program", "", "conversion program (.yatl file or built-in name)")
+		inputFlag   = fs.String("input", "", "input store file (YAT tree syntax); default stdin")
+		jsonFlag    = fs.Bool("json", false, "emit the profile as JSON")
+		timingFlag  = fs.Bool("timing", false, "include wall-clock times in the profile")
+		parFlag     = fs.Int("parallelism", 0, "worker count for the run (0 = sequential)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *programFlag == "" {
+		fmt.Fprintln(stderr, "yatprof: -program is required")
+		fs.Usage()
+		return 2
+	}
+
+	prog, err := loadProgram(*programFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "yatprof:", err)
+		return 1
+	}
+	inputs, err := loadInputs(*inputFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "yatprof:", err)
+		return 1
+	}
+
+	profile := yat.NewTraceProfile()
+	result, err := yat.Run(prog, inputs, &yat.RunOptions{
+		Trace:       profile,
+		Parallelism: *parFlag,
+	})
+	// A failed run still has a profile worth printing (it shows how
+	// far the conversion got); report the error after the table.
+	for _, w := range warningsOf(result) {
+		fmt.Fprintln(stderr, "yatprof: warning:", w)
+	}
+	if *jsonFlag {
+		data, jerr := profile.JSON(*timingFlag)
+		if jerr != nil {
+			fmt.Fprintln(stderr, "yatprof:", jerr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	} else if rerr := profile.Render(stdout, *timingFlag); rerr != nil {
+		fmt.Fprintln(stderr, "yatprof:", rerr)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "yatprof:", err)
+		return 1
+	}
+	return 0
+}
+
+func warningsOf(result *yat.Result) []string {
+	if result == nil {
+		return nil
+	}
+	return result.Warnings
+}
+
+func loadProgram(spec string) (*yat.Program, error) {
+	if strings.HasSuffix(spec, ".yatl") {
+		return library.LoadProgram(spec)
+	}
+	if p, ok := library.Builtin().Program(spec); ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("unknown program %q (not a .yatl file or built-in)", spec)
+}
+
+func loadInputs(inputFile string) (*yat.Store, error) {
+	var data []byte
+	var err error
+	if inputFile == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(inputFile)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tree.ParseStore(string(data))
+}

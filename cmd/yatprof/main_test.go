@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"yat/internal/tree"
+	"yat/internal/workload"
+)
+
+// brochureFile writes a synthetic brochure store to disk and returns
+// its path.
+func brochureFile(t *testing.T) string {
+	t.Helper()
+	store := workload.BrochureStore(8, 2, 5, 42)
+	path := filepath.Join(t.TempDir(), "brochures.yat")
+	if err := os.WriteFile(path, []byte(tree.FormatStore(store)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runProf(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestTextProfile(t *testing.T) {
+	input := brochureFile(t)
+	code, out, errOut := runProf(t, "-program", "sgml2odmg", "-input", input)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"EXPLAIN sgml2odmg", "rule Car", "rule Sup", "fired=", "skolems=", "match", "calls      city="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "wall=") {
+		t.Error("timing shown without -timing")
+	}
+}
+
+func TestTimingFlag(t *testing.T) {
+	input := brochureFile(t)
+	code, out, errOut := runProf(t, "-program", "sgml2odmg", "-input", input, "-timing")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "wall=") || !strings.Contains(out, "total:") {
+		t.Errorf("-timing output missing wall times:\n%s", out)
+	}
+}
+
+// TestDeterministicAcrossRunsAndParallelism pins the tool's headline
+// property: without -timing the profile is byte-identical run to run
+// and at any parallelism.
+func TestDeterministicAcrossRunsAndParallelism(t *testing.T) {
+	input := brochureFile(t)
+	_, want, _ := runProf(t, "-program", "sgml2odmg", "-input", input)
+	for _, par := range []string{"1", "4", "8"} {
+		code, out, errOut := runProf(t, "-program", "sgml2odmg", "-input", input, "-parallelism", par)
+		if code != 0 {
+			t.Fatalf("parallelism=%s: exit %d, stderr: %s", par, code, errOut)
+		}
+		if out != want {
+			t.Errorf("parallelism=%s profile diverges:\n got: %s\nwant: %s", par, out, want)
+		}
+	}
+}
+
+func TestJSONProfile(t *testing.T) {
+	input := brochureFile(t)
+	code, out, errOut := runProf(t, "-program", "sgml2odmg", "-input", input, "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var doc struct {
+		Program string `json:"program"`
+		Rounds  int    `json:"rounds"`
+		Rules   []struct {
+			Rule  string `json:"rule"`
+			Fired int    `json:"fired"`
+		} `json:"rules"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if doc.Rounds == 0 || len(doc.Rules) == 0 {
+		t.Errorf("empty profile: %+v", doc)
+	}
+	// Stable across repeat runs (timing omitted).
+	_, again, _ := runProf(t, "-program", "sgml2odmg", "-input", input, "-json")
+	if again != out {
+		t.Error("JSON profile differs between identical runs")
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	if code, _, _ := runProf(t); code != 2 {
+		t.Errorf("missing -program: exit %d, want 2", code)
+	}
+	if code, _, errOut := runProf(t, "-program", "no-such-program", "-input", os.DevNull); code != 1 {
+		t.Errorf("unknown program: exit %d, want 1 (stderr %s)", code, errOut)
+	}
+}

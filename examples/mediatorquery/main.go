@@ -60,8 +60,9 @@ func main() {
 		fmt.Printf("  %-30s city=%s\n", a.Name, a.Binding["C"].Display())
 	}
 
-	fmt.Printf("\nmaterialized once: %d outputs for %d source inputs (run stats: %+v)\n",
-		m.Stats().Outputs, inputs.Len(), m.Stats())
+	s := m.Stats()
+	fmt.Printf("\nmaterialized once: %d outputs for %d source inputs (run stats: %+v; %d asks, %d cache hits)\n",
+		s.Run.Outputs, inputs.Len(), s.Run, s.Asks, s.CacheHits)
 }
 
 // pagesOf deduplicates answers per page (one binding per body item

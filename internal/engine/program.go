@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"yat/internal/pattern"
+	"yat/internal/trace"
 	"yat/internal/tree"
 	"yat/internal/yatl"
 )
@@ -46,6 +48,15 @@ type Options struct {
 	// stops and returns an error wrapping ctx.Err(). Nil means the
 	// run cannot be cancelled.
 	Context context.Context
+	// Trace receives typed events for every phase of the run (see
+	// internal/trace): matching attempts, external calls with
+	// durations, dropped bindings with reasons, Skolem definitions,
+	// construction, and round boundaries. Nil disables tracing at
+	// zero cost — the engine then takes no timestamps and allocates
+	// nothing on behalf of the sink. With Parallelism > 1 events are
+	// emitted from worker goroutines, so the sink must be safe for
+	// concurrent use (trace.Profile is).
+	Trace trace.Sink
 }
 
 // Stats reports work done by a run.
@@ -124,12 +135,18 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 		opts:      opts,
 		ctx:       ctx,
 		workers:   effectiveWorkers(opts.Parallelism),
+		sink:      opts.Trace,
 		inputs:    inputs,
 		outputs:   tree.NewStore(),
 		matcher:   &Matcher{Store: inputs, Model: model},
 		hier:      buildHierarchy(prog, model),
 		seenIDs:   map[string]bool{},
 		ruleState: map[string]*ruleState{},
+	}
+	var runStart time.Time
+	if r.sink != nil {
+		runStart = time.Now()
+		r.sink.Emit(trace.Event{Kind: trace.KindRunStart, Phase: trace.PhaseRun, Detail: prog.Name})
 	}
 	for _, rule := range prog.Rules {
 		if rule.Exception {
@@ -156,6 +173,10 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 		}
 		pending := r.active[r.processed:]
 		r.processed = len(r.active)
+		r.round = rounds
+		if r.sink != nil {
+			r.sink.Emit(trace.Event{Kind: trace.KindRound, Phase: trace.PhaseRun, Round: rounds, Count: len(pending)})
+		}
 		results := make([]*matchResult, len(pending))
 		if err := forEachIndexed(r.ctx, r.workers, len(pending), func(i int) {
 			results[i] = r.collectMatches(pending[i])
@@ -212,6 +233,9 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 			Outputs:     r.outputs.Len(),
 			Rounds:      rounds,
 		},
+	}
+	if r.sink != nil {
+		r.sink.Emit(trace.Event{Kind: trace.KindRunEnd, Phase: trace.PhaseRun, Duration: time.Since(runStart)})
 	}
 	if len(r.hier.exceptions) > 0 && len(res.Unconverted) > 0 {
 		return res, &ErrUnconverted{IDs: res.Unconverted}
@@ -270,6 +294,12 @@ type run struct {
 	opts    *Options
 	ctx     context.Context
 	workers int
+	// sink receives trace events; nil disables tracing entirely (the
+	// engine then takes no timestamps and allocates nothing for it).
+	sink trace.Sink
+	// round is the current fixpoint round, set single-threaded before
+	// each parallel fan-out so worker emissions can carry it.
+	round   int
 	inputs  *tree.Store
 	outputs *tree.Store
 	matcher *Matcher
@@ -355,8 +385,16 @@ func (r *run) collectMatches(a *activation) *matchResult {
 			if blocked[rule.Name] {
 				continue
 			}
+			var matchStart time.Time
+			if r.sink != nil {
+				matchStart = time.Now()
+			}
 			if len(rule.Body) == 1 {
 				bs := r.matchBodyPattern(rule.Body[0], a)
+				if r.sink != nil {
+					r.sink.Emit(trace.Event{Kind: trace.KindMatch, Phase: trace.PhaseMatch,
+						Rule: rule.Name, Round: r.round, Count: len(bs), Duration: time.Since(matchStart)})
+				}
 				if len(bs) == 0 {
 					continue
 				}
@@ -370,16 +408,22 @@ func (r *run) collectMatches(a *activation) *matchResult {
 			// Multi-pattern rule: cache the matches of every body
 			// pattern; the join happens per round.
 			var multi [][]Binding
+			total := 0
 			for i := range rule.Body {
 				bs := r.matchBodyPattern(rule.Body[i], a)
 				if len(bs) == 0 {
 					continue
 				}
+				total += len(bs)
 				mr.matched = true
 				if multi == nil {
 					multi = make([][]Binding, len(rule.Body))
 				}
 				multi[i] = bs
+			}
+			if r.sink != nil {
+				r.sink.Emit(trace.Event{Kind: trace.KindMatch, Phase: trace.PhaseMatch,
+					Rule: rule.Name, Round: r.round, Count: total, Duration: time.Since(matchStart)})
 			}
 			if multi != nil {
 				mr.perRule = append(mr.perRule, ruleMatches{rule: rule, multi: multi})
@@ -536,7 +580,8 @@ func (r *run) evaluateNewBindings() error {
 // evalBinding applies the rule's lets and predicates to one binding.
 // It is called from worker goroutines and must not touch shared run
 // state: diagnostics come back as warns for the caller to append in
-// deterministic order.
+// deterministic order (trace emission is exempt — sinks are
+// concurrency-safe by contract and aggregate order-independently).
 func (r *run) evalBinding(rule *yatl.Rule, b Binding) (_ Binding, ok bool, warns []string, err error) {
 	if len(rule.Lets) > 0 {
 		b = b.Clone()
@@ -544,18 +589,33 @@ func (r *run) evalBinding(rule *yatl.Rule, b Binding) (_ Binding, ok bool, warns
 	for _, l := range rule.Lets {
 		args, ok := resolveOperands(b, l.Args)
 		if !ok {
+			r.traceDrop(rule.Name, trace.PhaseFunctions, trace.DropUnresolvedOperand)
 			return nil, false, nil, nil
 		}
+		var callStart time.Time
+		if r.sink != nil {
+			callStart = time.Now()
+		}
 		val, typed, err := r.reg.Call(l.Func, args)
+		if r.sink != nil {
+			passed := 0
+			if typed && err == nil {
+				passed = 1
+			}
+			r.sink.Emit(trace.Event{Kind: trace.KindCall, Phase: trace.PhaseFunctions,
+				Rule: rule.Name, Round: r.round, Count: passed, Detail: l.Func, Duration: time.Since(callStart)})
+		}
 		if err != nil {
 			var raised ErrRaised
 			if errors.As(err, &raised) {
 				return nil, false, nil, err
 			}
+			r.traceDrop(rule.Name, trace.PhaseFunctions, trace.DropFunctionError)
 			warns = append(warns, fmt.Sprintf("rule %s: %v (binding dropped)", rule.Name, err))
 			return nil, false, warns, nil
 		}
 		if !typed {
+			r.traceDrop(rule.Name, trace.PhaseFunctions, trace.DropTypeFilter)
 			return nil, false, nil, nil // the §3.1 type filter
 		}
 		b[l.Var] = val
@@ -567,10 +627,28 @@ func (r *run) evalBinding(rule *yatl.Rule, b Binding) (_ Binding, ok bool, warns
 			return nil, false, warns, err
 		}
 		if !ok {
+			reason := trace.DropPredicateFalse
+			if len(pwarns) > 0 {
+				reason = trace.DropPredicateError
+			}
+			r.traceDrop(rule.Name, trace.PhasePredicates, reason)
 			return nil, false, warns, nil
 		}
 	}
+	if r.sink != nil {
+		r.sink.Emit(trace.Event{Kind: trace.KindBindingKept, Phase: trace.PhasePredicates,
+			Rule: rule.Name, Round: r.round, Count: 1})
+	}
 	return b, true, warns, nil
+}
+
+// traceDrop emits a binding-dropped event; free when tracing is off.
+func (r *run) traceDrop(rule string, phase trace.Phase, reason string) {
+	if r.sink == nil {
+		return
+	}
+	r.sink.Emit(trace.Event{Kind: trace.KindBindingDropped, Phase: phase,
+		Rule: rule, Round: r.round, Detail: reason})
 }
 
 func (r *run) evalPred(rule *yatl.Rule, p yatl.Pred, b Binding) (ok bool, warns []string, err error) {
@@ -579,7 +657,19 @@ func (r *run) evalPred(rule *yatl.Rule, p yatl.Pred, b Binding) (ok bool, warns 
 		if !ok {
 			return false, nil, nil
 		}
+		var callStart time.Time
+		if r.sink != nil {
+			callStart = time.Now()
+		}
 		res, typed, err := r.reg.CallBool(p.Call, args)
+		if r.sink != nil {
+			passed := 0
+			if typed && err == nil {
+				passed = 1
+			}
+			r.sink.Emit(trace.Event{Kind: trace.KindCall, Phase: trace.PhasePredicates,
+				Rule: rule.Name, Round: r.round, Count: passed, Detail: p.Call, Duration: time.Since(callStart)})
+		}
 		if err != nil {
 			var raised ErrRaised
 			if errors.As(err, &raised) {
@@ -656,8 +746,16 @@ func (r *run) constructRule(rule *yatl.Rule) error {
 	headRef := pattern.PatRef{Name: rule.Head.Functor, Args: rule.Head.Args}
 	for _, b := range s.evaluated {
 		c := &constructor{rule: rule.Name}
+		var skolemStart time.Time
+		if r.sink != nil {
+			skolemStart = time.Now()
+		}
 		oid, err := c.evalSkolem(headRef, []Binding{b})
 		if err != nil {
+			if r.sink != nil {
+				r.sink.Emit(trace.Event{Kind: trace.KindBindingDropped, Phase: trace.PhaseSkolem,
+					Rule: rule.Name, Detail: trace.DropSkolemError, Duration: time.Since(skolemStart)})
+			}
 			r.warn(fmt.Sprintf("rule %s: %v (binding dropped)", rule.Name, err))
 			continue
 		}
@@ -665,6 +763,10 @@ func (r *run) constructRule(rule *yatl.Rule) error {
 		if i, ok := index[key]; ok {
 			groups[i].bindings = append(groups[i].bindings, b)
 			continue
+		}
+		if r.sink != nil {
+			r.sink.Emit(trace.Event{Kind: trace.KindSkolemDefined, Phase: trace.PhaseSkolem,
+				Rule: rule.Name, Count: 1, Detail: oid.String(), Duration: time.Since(skolemStart)})
 		}
 		index[key] = len(groups)
 		groups = append(groups, oidGroup{oid: oid, bindings: []Binding{b}})
@@ -677,7 +779,19 @@ func (r *run) constructRule(rule *yatl.Rule) error {
 			oid:  groups[i].oid,
 			hook: func(oid tree.Name, deref bool) {},
 		}
+		var buildStart time.Time
+		if r.sink != nil {
+			buildStart = time.Now()
+		}
 		outs[i], errs[i] = c.construct(rule.Head.Tree, groups[i].bindings)
+		if r.sink != nil {
+			built := 0
+			if errs[i] == nil {
+				built = 1
+			}
+			r.sink.Emit(trace.Event{Kind: trace.KindConstruct, Phase: trace.PhaseConstruct,
+				Rule: rule.Name, Count: built, Duration: time.Since(buildStart)})
+		}
 	}); err != nil {
 		return cancelErr(err)
 	}
@@ -685,6 +799,7 @@ func (r *run) constructRule(rule *yatl.Rule) error {
 		if err := errs[i]; err != nil {
 			var nd *NonDetError
 			if errors.As(err, &nd) && r.opts.NonDetWarn {
+				r.traceDrop(rule.Name, trace.PhaseConstruct, trace.DropNonDeterminism)
 				r.warn(nd.Error())
 				continue
 			}
@@ -696,6 +811,7 @@ func (r *run) constructRule(rule *yatl.Rule) error {
 				ndErr := &NonDetError{Rule: rule.Name, OID: g.oid,
 					Why: "two distinct values for the same Skolem identity"}
 				if r.opts.NonDetWarn {
+					r.traceDrop(rule.Name, trace.PhaseConstruct, trace.DropNonDeterminism)
 					r.warn(ndErr.Error())
 					continue
 				}
@@ -726,7 +842,11 @@ func (r *run) checkOutputs(model *pattern.Model) {
 	}
 }
 
-// unconverted lists source inputs no rule matched.
+// unconverted lists source inputs no rule matched, in a total
+// deterministic order (kind, then canonical key): the §3.5 exception
+// message must read identically at every Parallelism setting, and a
+// comparator with ties under an unstable sort would not guarantee
+// that.
 func (r *run) unconverted() []tree.Value {
 	var out []tree.Value
 	for _, a := range r.active {
@@ -734,7 +854,11 @@ func (r *run) unconverted() []tree.Value {
 			out = append(out, a.id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
+		ki, kj := out[i].Kind(), out[j].Kind()
+		if ki != kj {
+			return ki.String() < kj.String()
+		}
 		return displayKey(out[i]) < displayKey(out[j])
 	})
 	return out

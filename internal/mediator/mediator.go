@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"yat/internal/engine"
 	"yat/internal/pattern"
@@ -54,8 +55,19 @@ type Mediator struct {
 	inputs *tree.Store
 	opts   *engine.Options
 
-	mu  sync.Mutex // guards gen
+	mu  sync.Mutex // guards gen and lastGood
 	gen *generation
+	// lastGood retains the stats of the most recent successful
+	// materialization so they stay readable after Invalidate until
+	// the next generation materializes.
+	lastGood    engine.Stats
+	hasLastGood bool
+
+	// Query counters (atomics: Ask runs concurrently).
+	asks      atomic.Int64
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+	askNanos  atomic.Int64
 }
 
 // New returns a mediator over the program and sources. Nothing runs
@@ -65,12 +77,27 @@ func New(prog *yatl.Program, inputs *tree.Store, opts *engine.Options) *Mediator
 }
 
 // materialize runs the conversion once per generation; concurrent
-// callers block on the same sync.Once and share the outcome.
-func (m *Mediator) materialize() (*engine.Result, error) {
+// callers block on the same sync.Once and share the outcome. The
+// boolean reports whether the generation was already materialized
+// when the caller arrived (a cache hit for Stats accounting).
+func (m *Mediator) materialize() (*engine.Result, bool, error) {
 	m.mu.Lock()
 	g := m.gen
 	m.mu.Unlock()
-	return g.materialize(m.prog, m.inputs, m.opts)
+	warm := g.done.Load()
+	res, err := g.materialize(m.prog, m.inputs, m.opts)
+	if err == nil && !warm {
+		m.mu.Lock()
+		// Only credit the generation still current: a stale run
+		// finishing after an Invalidate must not overwrite the stats
+		// of a newer materialization.
+		if g == m.gen || !m.hasLastGood {
+			m.lastGood = res.Stats
+			m.hasLastGood = true
+		}
+		m.mu.Unlock()
+	}
+	return res, warm, err
 }
 
 // Answer is one query result: the identity of the target object and
@@ -94,7 +121,15 @@ func (m *Mediator) Ask(patternSrc string, functors ...string) ([]Answer, error) 
 
 // AskPattern is Ask over a parsed pattern.
 func (m *Mediator) AskPattern(pt *pattern.PTree, functors ...string) ([]Answer, error) {
-	res, err := m.materialize()
+	start := time.Now()
+	defer func() { m.askNanos.Add(time.Since(start).Nanoseconds()) }()
+	m.asks.Add(1)
+	res, warm, err := m.materialize()
+	if warm {
+		m.cacheHits.Add(1)
+	} else {
+		m.cacheMiss.Add(1)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +158,7 @@ func (m *Mediator) AskPattern(pt *pattern.PTree, functors ...string) ([]Answer, 
 
 // Get resolves one virtual object by Skolem identity.
 func (m *Mediator) Get(name tree.Name) (*tree.Node, bool, error) {
-	res, err := m.materialize()
+	res, _, err := m.materialize()
 	if err != nil {
 		return nil, false, err
 	}
@@ -133,7 +168,7 @@ func (m *Mediator) Get(name tree.Name) (*tree.Node, bool, error) {
 
 // Functors lists the Skolem functors present in the target, sorted.
 func (m *Mediator) Functors() ([]string, error) {
-	res, err := m.materialize()
+	res, _, err := m.materialize()
 	if err != nil {
 		return nil, err
 	}
@@ -149,17 +184,55 @@ func (m *Mediator) Functors() ([]string, error) {
 	return out, nil
 }
 
-// Stats exposes the underlying run's statistics (zero until the first
-// query forces materialization). It never triggers a materialization
-// itself; the atomic done flag orders the read after the run's writes.
-func (m *Mediator) Stats() engine.Stats {
+// Stats reports the mediator's materialization state and query
+// counters. The zero value of every field is meaningful before the
+// first query.
+type Stats struct {
+	// Run holds the statistics of the current materialization when
+	// one succeeded, else those of the last good generation (kept
+	// readable across Invalidate until the replacement materializes).
+	Run engine.Stats
+	// Materialized reports that the *current* generation has
+	// materialized successfully. False both before the first query
+	// and after Invalidate.
+	Materialized bool
+	// Err is the materialization error of the current generation, if
+	// it ran and failed. Nil when the generation has not run yet —
+	// Materialized false with a nil Err means "no query has run",
+	// resolving the ambiguity a bare zero engine.Stats used to hide.
+	Err error
+	// Asks counts AskPattern calls; CacheHits of those found the
+	// generation already materialized, CacheMisses triggered (or
+	// waited on) a materialization.
+	Asks, CacheHits, CacheMisses int64
+	// AskTime is the cumulative wall time spent inside Ask calls;
+	// divide by Asks for the mean per-query latency.
+	AskTime time.Duration
+}
+
+// Stats exposes the mediator's statistics. It never triggers a
+// materialization itself; the atomic done flag orders the read after
+// the run's writes.
+func (m *Mediator) Stats() Stats {
 	m.mu.Lock()
 	g := m.gen
+	s := Stats{Run: m.lastGood}
 	m.mu.Unlock()
-	if !g.done.Load() || g.result == nil {
-		return engine.Stats{}
+	if g.done.Load() {
+		if g.err != nil {
+			s.Err = g.err
+		} else {
+			s.Materialized = true
+			if g.result != nil {
+				s.Run = g.result.Stats
+			}
+		}
 	}
-	return g.result.Stats
+	s.Asks = m.asks.Load()
+	s.CacheHits = m.cacheHits.Load()
+	s.CacheMisses = m.cacheMiss.Load()
+	s.AskTime = time.Duration(m.askNanos.Load())
+	return s
 }
 
 // Invalidate drops the materialized target, forcing the next query to

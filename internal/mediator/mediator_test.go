@@ -62,27 +62,117 @@ func TestAskRestrictsFunctors(t *testing.T) {
 
 func TestMaterializeOnce(t *testing.T) {
 	m := newCarMediator(t, 10)
-	if m.Stats().Outputs != 0 {
-		t.Error("mediator materialized eagerly")
+	if s := m.Stats(); s.Materialized || s.Err != nil || s.Run.Outputs != 0 {
+		t.Errorf("mediator materialized eagerly: %+v", s)
 	}
 	if _, err := m.Ask(`X`); err != nil {
 		t.Fatal(err)
 	}
 	first := m.Stats()
-	if first.Outputs == 0 {
-		t.Fatal("no outputs after first query")
+	if !first.Materialized || first.Run.Outputs == 0 {
+		t.Fatalf("no outputs after first query: %+v", first)
+	}
+	if first.Asks != 1 || first.CacheMisses != 1 || first.CacheHits != 0 {
+		t.Errorf("first query counters wrong: %+v", first)
 	}
 	// Further queries reuse the run.
 	if _, err := m.Ask(`class -> car -*> Y`); err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats() != first {
+	second := m.Stats()
+	if second.Run != first.Run {
 		t.Error("second query re-ran the conversion")
 	}
+	if second.CacheHits != 1 || second.CacheMisses != 1 {
+		t.Errorf("warm query not counted as a cache hit: %+v", second)
+	}
 	m.Invalidate()
-	if m.Stats().Outputs != 0 {
+	s := m.Stats()
+	if s.Materialized {
 		t.Error("Invalidate did not drop the cache")
 	}
+	// The last good generation's stats stay readable until the next
+	// materialization replaces them.
+	if s.Run != first.Run {
+		t.Errorf("last good stats lost after Invalidate: %+v", s.Run)
+	}
+	if _, err := m.Ask(`X`); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Stats(); !s.Materialized || s.Run != first.Run || s.CacheMisses != 2 {
+		t.Errorf("re-materialization after Invalidate wrong: %+v", s)
+	}
+}
+
+// TestStatsDistinguishesFailure pins the reporting contract: a
+// mediator whose conversion fails must not look like one that never
+// ran — Err carries the materialization error.
+func TestStatsDistinguishesFailure(t *testing.T) {
+	prog := yatl.MustParse(`
+program failing
+rule R {
+  head Pout(X) = out -> V
+  from X = in -> D
+  let V = raise(D)
+}
+`)
+	store := tree.NewStore()
+	store.Put(tree.PlainName("i1"), tree.Sym("in", tree.Str("boom")))
+	m := New(prog, store, nil)
+	if s := m.Stats(); s.Err != nil || s.Materialized {
+		t.Fatalf("failure reported before any query: %+v", s)
+	}
+	if _, err := m.Ask(`X`); err == nil {
+		t.Fatal("conversion should have failed")
+	}
+	s := m.Stats()
+	if s.Materialized {
+		t.Error("failed generation reported as materialized")
+	}
+	if s.Err == nil {
+		t.Error("materialization error not surfaced through Stats")
+	}
+	if s.Asks != 1 || s.CacheMisses != 1 {
+		t.Errorf("failed query not counted: %+v", s)
+	}
+}
+
+// TestAskConcurrentWithInvalidate hammers Ask against Invalidate; with
+// -race this is the regression gate for the generation swap. Every
+// query must land on a consistent snapshot and succeed.
+func TestAskConcurrentWithInvalidate(t *testing.T) {
+	m := newCarMediator(t, 6)
+	want, err := m.Ask(`X`, "Pcar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := m.Ask(`X`, "Pcar")
+				if err != nil {
+					t.Errorf("Ask during Invalidate: %v", err)
+					return
+				}
+				if len(got) != len(want) {
+					t.Errorf("Ask saw %d answers, want %d", len(got), len(want))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			m.Invalidate()
+			m.Stats()
+		}
+	}()
+	wg.Wait()
 }
 
 func TestGet(t *testing.T) {

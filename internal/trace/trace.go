@@ -1,0 +1,515 @@
+// Package trace is the engine's structured observability layer: the
+// run loop emits typed events per phase per rule (§3.1's five phases,
+// plus fixpoint round boundaries and run start/end), and any consumer
+// implementing Sink can attach to a run through engine.Options.Trace.
+//
+// The package defines one ready-made sink, Profile, which aggregates
+// the event stream into per-rule/per-phase counts and wall times and
+// renders them as an EXPLAIN-style table (text or JSON). Counts are
+// order-independent, so a Profile collected at any Parallelism setting
+// reports identical numbers; only wall times vary with the schedule.
+//
+// The contract with the engine is strict in both directions:
+//
+//   - Disabled is free. With a nil sink the engine performs no event
+//     construction, no time.Now() calls and no allocations on behalf
+//     of tracing — the hot path is byte-for-byte the pre-trace code.
+//   - Enabled is concurrent. With Parallelism > 1 events are emitted
+//     from worker goroutines; a Sink must be safe for concurrent use.
+//     Event *order* across rules is schedule-dependent, event *counts*
+//     per (rule, phase, kind) are deterministic.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase identifies one of the five evaluation phases of §3.1, plus a
+// pseudo-phase for run/round structure events.
+type Phase int
+
+const (
+	// PhaseRun groups run- and round-level events (no rule attached).
+	PhaseRun Phase = iota
+	// PhaseMatch is phase 1: pattern matching of inputs against rule
+	// bodies.
+	PhaseMatch
+	// PhaseFunctions is phase 2: external function application with
+	// the type filter.
+	PhaseFunctions
+	// PhasePredicates is phase 3: predicate filtering.
+	PhasePredicates
+	// PhaseSkolem is phase 4: head Skolem evaluation and grouping.
+	PhaseSkolem
+	// PhaseConstruct is phase 5: output tree construction.
+	PhaseConstruct
+
+	numPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseRun:
+		return "run"
+	case PhaseMatch:
+		return "match"
+	case PhaseFunctions:
+		return "functions"
+	case PhasePredicates:
+		return "predicates"
+	case PhaseSkolem:
+		return "skolem"
+	case PhaseConstruct:
+		return "construct"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// KindRunStart opens a run. Detail holds the program name.
+	KindRunStart Kind = iota
+	// KindRunEnd closes a run; Duration is total wall time.
+	KindRunEnd
+	// KindRound marks the start of one activation-fixpoint round;
+	// Round is 1-based and Count is the number of pending activations.
+	KindRound
+	// KindMatch records one (rule, activation) matching attempt;
+	// Count is the number of bindings produced (0 means the rule did
+	// not fire on this input).
+	KindMatch
+	// KindCall records one external function invocation (let or
+	// predicate call); Detail is the function name and Duration its
+	// wall time. Count is 1 when the call succeeded past the type
+	// filter, 0 when the filter rejected it.
+	KindCall
+	// KindBindingKept records a binding that survived phases 2–3.
+	KindBindingKept
+	// KindBindingDropped records a binding dropped during phases 2–5;
+	// Detail is the machine-readable reason.
+	KindBindingDropped
+	// KindSkolemDefined records one distinct head Skolem identity;
+	// Detail is the identity display form.
+	KindSkolemDefined
+	// KindConstruct records the construction of one output tree.
+	KindConstruct
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRunStart:
+		return "run-start"
+	case KindRunEnd:
+		return "run-end"
+	case KindRound:
+		return "round"
+	case KindMatch:
+		return "match"
+	case KindCall:
+		return "call"
+	case KindBindingKept:
+		return "binding-kept"
+	case KindBindingDropped:
+		return "binding-dropped"
+	case KindSkolemDefined:
+		return "skolem-defined"
+	case KindConstruct:
+		return "construct"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Drop reasons carried by KindBindingDropped events (Event.Detail).
+const (
+	DropUnresolvedOperand = "unresolved-operand"
+	DropTypeFilter        = "type-filter"
+	DropFunctionError     = "function-error"
+	DropPredicateFalse    = "predicate-false"
+	DropPredicateError    = "predicate-error"
+	DropSkolemError       = "skolem-error"
+	DropNonDeterminism    = "non-determinism"
+)
+
+// Event is one observation from the engine. It is passed by value and
+// never retained by the engine, so sinks may keep or discard it
+// freely.
+type Event struct {
+	Kind     Kind
+	Phase    Phase
+	Rule     string // empty for run/round events
+	Round    int    // 1-based fixpoint round, when known
+	Count    int    // kind-specific cardinality (bindings, pending, …)
+	Detail   string // function name, drop reason, identity, …
+	Duration time.Duration
+}
+
+// Sink consumes engine events. Implementations must be safe for
+// concurrent use when the run's Parallelism exceeds 1.
+type Sink interface {
+	Emit(Event)
+}
+
+// PhaseProfile aggregates one rule's activity inside one phase.
+type PhaseProfile struct {
+	// Events is the number of events attributed to the phase.
+	Events int `json:"events"`
+	// Items sums the event counts: bindings matched (match), calls
+	// passing the type filter (functions), bindings kept
+	// (predicates), bindings grouped (skolem), outputs built
+	// (construct).
+	Items int `json:"items"`
+	// Wall is the accumulated wall time attributed to the phase.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// RuleProfile aggregates one rule across all phases.
+type RuleProfile struct {
+	Rule string `json:"rule"`
+	// Phases indexes PhaseMatch … PhaseConstruct.
+	Phases [numPhases]PhaseProfile `json:"-"`
+	// Fired is the number of (activation, rule) attempts that
+	// produced at least one binding.
+	Fired int `json:"fired"`
+	// Skolems is the number of distinct head identities defined.
+	Skolems int `json:"skolems"`
+	// Outputs is the number of output trees constructed.
+	Outputs int `json:"outputs"`
+	// Calls counts external function invocations by function name.
+	Calls map[string]int `json:"calls,omitempty"`
+	// Drops counts dropped bindings by reason.
+	Drops map[string]int `json:"drops,omitempty"`
+	// Kept is the number of bindings surviving phases 2–3.
+	Kept int `json:"kept"`
+}
+
+// Profile is a Sink that aggregates the event stream into a
+// per-rule/per-phase table. The zero value is not ready; use
+// NewProfile.
+type Profile struct {
+	mu      sync.Mutex
+	program string
+	rules   map[string]*RuleProfile
+	rounds  int
+	// pending per round, in round order.
+	roundPending []int
+	events       int
+	wall         time.Duration
+}
+
+// NewProfile returns an empty profile ready to attach to a run.
+func NewProfile() *Profile {
+	return &Profile{rules: map[string]*RuleProfile{}}
+}
+
+// Emit implements Sink.
+func (p *Profile) Emit(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events++
+	switch e.Kind {
+	case KindRunStart:
+		p.program = e.Detail
+		return
+	case KindRunEnd:
+		p.wall = e.Duration
+		return
+	case KindRound:
+		p.rounds++
+		p.roundPending = append(p.roundPending, e.Count)
+		return
+	}
+	r := p.rule(e.Rule)
+	ph := &r.Phases[e.Phase]
+	ph.Events++
+	ph.Wall += e.Duration
+	switch e.Kind {
+	case KindMatch:
+		if e.Count > 0 {
+			r.Fired++
+		}
+		ph.Items += e.Count
+	case KindCall:
+		ph.Items += e.Count
+		if r.Calls == nil {
+			r.Calls = map[string]int{}
+		}
+		r.Calls[e.Detail]++
+	case KindBindingKept:
+		r.Kept++
+		ph.Items++
+	case KindBindingDropped:
+		if r.Drops == nil {
+			r.Drops = map[string]int{}
+		}
+		r.Drops[e.Detail]++
+	case KindSkolemDefined:
+		r.Skolems += e.Count
+		ph.Items += e.Count
+	case KindConstruct:
+		r.Outputs += e.Count
+		ph.Items += e.Count
+	}
+}
+
+func (p *Profile) rule(name string) *RuleProfile {
+	r, ok := p.rules[name]
+	if !ok {
+		r = &RuleProfile{Rule: name}
+		p.rules[name] = r
+	}
+	return r
+}
+
+// Program returns the program name announced by the run (empty before
+// the run starts).
+func (p *Profile) Program() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.program
+}
+
+// Rounds returns the number of fixpoint rounds observed.
+func (p *Profile) Rounds() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rounds
+}
+
+// Events returns the total number of events received.
+func (p *Profile) Events() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.events
+}
+
+// Wall returns the total run wall time (zero until KindRunEnd).
+func (p *Profile) Wall() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wall
+}
+
+// Rules returns the per-rule profiles sorted by rule name. The
+// returned values are deep copies; mutating them does not affect the
+// profile.
+func (p *Profile) Rules() []RuleProfile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.rules))
+	for n := range p.rules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]RuleProfile, len(names))
+	for i, n := range names {
+		out[i] = copyRule(p.rules[n])
+	}
+	return out
+}
+
+func copyRule(r *RuleProfile) RuleProfile {
+	c := *r
+	c.Calls = copyCounts(r.Calls)
+	c.Drops = copyCounts(r.Drops)
+	return c
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	if m == nil {
+		return nil
+	}
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// dataPhases are the phases shown in the EXPLAIN table, in §3.1 order.
+var dataPhases = [...]Phase{PhaseMatch, PhaseFunctions, PhasePredicates, PhaseSkolem, PhaseConstruct}
+
+// Render writes the EXPLAIN-style table. With timing false the wall
+// columns are omitted, which makes the output deterministic across
+// runs and Parallelism settings — the form the golden tests pin.
+func (p *Profile) Render(w io.Writer, timing bool) error {
+	rules := p.Rules()
+	p.mu.Lock()
+	program, rounds, pending, wall := p.program, p.rounds, append([]int(nil), p.roundPending...), p.wall
+	p.mu.Unlock()
+
+	name := program
+	if name == "" {
+		name = "(unnamed)"
+	}
+	if _, err := fmt.Fprintf(w, "EXPLAIN %s\n", name); err != nil {
+		return err
+	}
+	if timing {
+		fmt.Fprintf(w, "rounds: %d %v  total: %v\n", rounds, pending, wall)
+	} else {
+		fmt.Fprintf(w, "rounds: %d %v\n", rounds, pending)
+	}
+	for _, r := range rules {
+		fmt.Fprintf(w, "\nrule %s  fired=%d kept=%d skolems=%d outputs=%d\n",
+			r.Rule, r.Fired, r.Kept, r.Skolems, r.Outputs)
+		for _, ph := range dataPhases {
+			pp := r.Phases[ph]
+			if pp.Events == 0 {
+				continue
+			}
+			if timing {
+				fmt.Fprintf(w, "  %-10s events=%-6d items=%-6d wall=%v\n", ph, pp.Events, pp.Items, pp.Wall)
+			} else {
+				fmt.Fprintf(w, "  %-10s events=%-6d items=%d\n", ph, pp.Events, pp.Items)
+			}
+		}
+		if len(r.Calls) > 0 {
+			fmt.Fprintf(w, "  calls      %s\n", formatCounts(r.Calls))
+		}
+		if len(r.Drops) > 0 {
+			fmt.Fprintf(w, "  drops      %s\n", formatCounts(r.Drops))
+		}
+	}
+	return nil
+}
+
+// Text renders the table to a string (see Render).
+func (p *Profile) Text(timing bool) string {
+	var sb strings.Builder
+	p.Render(&sb, timing) // strings.Builder never errors
+	return sb.String()
+}
+
+func formatCounts(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// jsonPhase is the JSON shape of one phase row.
+type jsonPhase struct {
+	Phase  string `json:"phase"`
+	Events int    `json:"events"`
+	Items  int    `json:"items"`
+	WallNS int64  `json:"wall_ns,omitempty"`
+}
+
+// jsonRule is the JSON shape of one rule block.
+type jsonRule struct {
+	Rule    string         `json:"rule"`
+	Fired   int            `json:"fired"`
+	Kept    int            `json:"kept"`
+	Skolems int            `json:"skolems"`
+	Outputs int            `json:"outputs"`
+	Phases  []jsonPhase    `json:"phases"`
+	Calls   map[string]int `json:"calls,omitempty"`
+	Drops   map[string]int `json:"drops,omitempty"`
+}
+
+// jsonProfile is the JSON shape of the whole profile.
+type jsonProfile struct {
+	Program      string     `json:"program"`
+	Rounds       int        `json:"rounds"`
+	RoundPending []int      `json:"round_pending,omitempty"`
+	Events       int        `json:"events"`
+	WallNS       int64      `json:"wall_ns,omitempty"`
+	Rules        []jsonRule `json:"rules"`
+}
+
+// JSON renders the profile as indented JSON. With timing false all
+// wall-time fields are zeroed (and omitted), making the document
+// deterministic across runs.
+func (p *Profile) JSON(timing bool) ([]byte, error) {
+	rules := p.Rules()
+	p.mu.Lock()
+	doc := jsonProfile{
+		Program:      p.program,
+		Rounds:       p.rounds,
+		RoundPending: append([]int(nil), p.roundPending...),
+		Events:       p.events,
+	}
+	if timing {
+		doc.WallNS = p.wall.Nanoseconds()
+	}
+	p.mu.Unlock()
+	for _, r := range rules {
+		jr := jsonRule{
+			Rule:    r.Rule,
+			Fired:   r.Fired,
+			Kept:    r.Kept,
+			Skolems: r.Skolems,
+			Outputs: r.Outputs,
+			Calls:   r.Calls,
+			Drops:   r.Drops,
+		}
+		for _, ph := range dataPhases {
+			pp := r.Phases[ph]
+			if pp.Events == 0 {
+				continue
+			}
+			row := jsonPhase{Phase: ph.String(), Events: pp.Events, Items: pp.Items}
+			if timing {
+				row.WallNS = pp.Wall.Nanoseconds()
+			}
+			jr.Phases = append(jr.Phases, row)
+		}
+		doc.Rules = append(doc.Rules, jr)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Recorder is a Sink that retains every event in arrival order —
+// useful in tests and for building custom renderers. Unlike Profile
+// its contents are schedule-dependent under parallelism.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Multi fans one event stream out to several sinks.
+func Multi(sinks ...Sink) Sink {
+	out := make(multi, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type multi []Sink
+
+func (m multi) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}

@@ -53,6 +53,25 @@ func matrixStore(n int) *Store {
 	return s
 }
 
+// warningStore yields n inputs for the warny program: odd entries
+// carry a parseable address, even ones a malformed one that makes
+// city() error and drop the binding with a warning.
+func warningStore(n int) *Store {
+	var sb strings.Builder
+	for i := 1; i <= n; i++ {
+		if i%2 == 0 {
+			fmt.Fprintf(&sb, "i%d: in -> \"address without locality %d\"\n", i, i)
+		} else {
+			fmt.Fprintf(&sb, "i%d: in -> \"%d Bd Lenoir, 75%03d Paris\"\n", i, i, i)
+		}
+	}
+	s, err := ParseStore(sb.String())
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func TestParallelByteIdenticalOnWorkloads(t *testing.T) {
 	composed := func(t *testing.T) *Program {
 		first, err := ParseProgram(Rules1And2Typed)
@@ -70,10 +89,11 @@ func TestParallelByteIdenticalOnWorkloads(t *testing.T) {
 		return p
 	}
 	cases := []struct {
-		name   string
-		src    string // YATL source; empty means prog is built below
-		prog   func(t *testing.T) *Program
-		inputs *Store
+		name         string
+		src          string // YATL source; empty means prog is built below
+		prog         func(t *testing.T) *Program
+		inputs       *Store
+		wantWarnings bool // the case must actually exercise Warnings
 	}{
 		{name: "brochures/rules1and2", src: Rules1And2,
 			inputs: workload.BrochureStore(40, 3, 12, 42)},
@@ -89,6 +109,20 @@ func TestParallelByteIdenticalOnWorkloads(t *testing.T) {
 			inputs: matrixStore(16)},
 		{name: "brochures/composed", prog: composed,
 			inputs: workload.BrochureStore(15, 3, 9, 5)},
+		// Warning-heavy case: half the inputs make city() fail (binding
+		// dropped with a warning), and every output holds a reference
+		// to a Skolem no rule defines (dangling-reference warnings).
+		// This pins the *order* of Result.Warnings across widths — the
+		// other workloads barely warn at all.
+		{name: "warnings/dropped-and-dangling", src: `
+program warny
+rule R {
+  head Pout(X) = out < -> city -> C, -> link -> &Pmissing(X) >
+  from X = in -> A
+  let C = city(A)
+}
+`,
+			inputs: warningStore(16), wantWarnings: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -105,6 +139,9 @@ func TestParallelByteIdenticalOnWorkloads(t *testing.T) {
 			seq, err := Run(prog, tc.inputs, nil)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if tc.wantWarnings && len(seq.Warnings) < 2 {
+				t.Fatalf("case meant to pin warning order produced %d warnings", len(seq.Warnings))
 			}
 			want := fingerprint(seq)
 			for _, par := range []int{2, 4, -1} {

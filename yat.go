@@ -43,6 +43,7 @@ import (
 	"yat/internal/library"
 	"yat/internal/mediator"
 	"yat/internal/pattern"
+	"yat/internal/trace"
 	"yat/internal/tree"
 	"yat/internal/typing"
 	"yat/internal/wrapper"
@@ -248,7 +249,38 @@ type Mediator = mediator.Mediator
 // MediatorAnswer is one query result.
 type MediatorAnswer = mediator.Answer
 
+// MediatorStats reports materialization state, cache hit/miss counts
+// and cumulative Ask latency for a mediator.
+type MediatorStats = mediator.Stats
+
 // NewMediator wraps a program and its sources for querying.
 func NewMediator(prog *Program, inputs *Store, opts *RunOptions) *Mediator {
 	return mediator.New(prog, inputs, opts)
 }
+
+// Observability (the internal/trace layer). Attach a sink through
+// RunOptions.Trace; a nil sink costs nothing.
+type (
+	// TraceSink consumes typed engine events; implementations must be
+	// safe for concurrent use when Parallelism > 1.
+	TraceSink = trace.Sink
+	// TraceEvent is one observation from the engine's run loop.
+	TraceEvent = trace.Event
+	// TraceProfile aggregates events into a per-rule/per-phase
+	// EXPLAIN table (counts deterministic at every Parallelism).
+	TraceProfile = trace.Profile
+	// TraceRecorder retains every event in arrival order.
+	TraceRecorder = trace.Recorder
+)
+
+// NewTraceProfile returns an empty profile ready to attach to a run:
+//
+//	p := yat.NewTraceProfile()
+//	res, err := yat.Run(prog, inputs, &yat.RunOptions{Trace: p})
+//	fmt.Print(p.Text(true)) // EXPLAIN table with wall times
+var NewTraceProfile = trace.NewProfile
+
+// TraceMulti fans one event stream out to several sinks (nil sinks
+// are skipped), e.g. a Profile for the table plus a Recorder for the
+// raw events.
+var TraceMulti = trace.Multi
