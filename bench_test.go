@@ -557,3 +557,45 @@ func BenchmarkRunWithProfile(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSelectiveAsk is the demand-driven payoff experiment: a
+// mediator over a many-view program answers a single-view query. The
+// full strategy materializes every view on the first ask; the demand
+// strategy slices to the one rule the query needs. CI enforces the
+// gap (demand-cold must beat full-cold; see the bench-guard job).
+func BenchmarkSelectiveAsk(b *testing.B) {
+	prog := mustProg(b, workload.SelectiveProgram(8))
+	inputs := workload.BrochureStore(120, 3, 30, 7)
+	const pat = `view < -> name -> N, -> city -> C, -> zip -> Z >`
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewMediator(prog, inputs)
+			if _, err := m.Ask(pat, "Pview1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("demand", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewMediator(prog, inputs, WithDemandDriven(true))
+			if _, err := m.Ask(pat, "Pview1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("demand-warm", func(b *testing.B) {
+		m := NewMediator(prog, inputs, WithDemandDriven(true))
+		if _, err := m.Ask(pat, "Pview1"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Ask(pat, "Pview1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

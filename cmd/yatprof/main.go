@@ -18,6 +18,12 @@
 //	-timing       include wall-clock times (off by default so output
 //	              is deterministic and diffable)
 //	-parallelism  worker count for the run (0 = sequential)
+//	-ask          profile a mediator query (YATL pattern) instead of a
+//	              full conversion
+//	-functors     comma-separated Skolem functors restricting -ask
+//	-demand       answer -ask demand-driven: materialize only the rule
+//	              slice the functors need (the profile then shows the
+//	              slice and per-rule cache decisions)
 package main
 
 import (
@@ -47,6 +53,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonFlag    = fs.Bool("json", false, "emit the profile as JSON")
 		timingFlag  = fs.Bool("timing", false, "include wall-clock times in the profile")
 		parFlag     = fs.Int("parallelism", 0, "worker count for the run (0 = sequential)")
+		askFlag     = fs.String("ask", "", "profile a mediator query (YATL pattern) instead of a run")
+		funcFlag    = fs.String("functors", "", "comma-separated Skolem functors restricting -ask")
+		demandFlag  = fs.Bool("demand", false, "answer -ask demand-driven (slice + per-rule cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -69,13 +78,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	profile := yat.NewTraceProfile()
-	result, err := yat.Run(prog, inputs, &yat.RunOptions{
-		Trace:       profile,
-		Parallelism: *parFlag,
-	})
+	var warnings []string
+	if *askFlag != "" {
+		med := yat.NewMediator(prog, inputs,
+			yat.WithTrace(profile),
+			yat.WithParallelism(*parFlag),
+			yat.WithDemandDriven(*demandFlag))
+		var functors []string
+		for _, f := range strings.Split(*funcFlag, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				functors = append(functors, f)
+			}
+		}
+		var answers []yat.MediatorAnswer
+		answers, err = med.Ask(*askFlag, functors...)
+		if err == nil {
+			fmt.Fprintf(stdout, "answers: %d\n", len(answers))
+		}
+	} else {
+		var result *yat.Result
+		result, err = yat.Run(prog, inputs,
+			yat.WithTrace(profile),
+			yat.WithParallelism(*parFlag))
+		warnings = warningsOf(result)
+	}
 	// A failed run still has a profile worth printing (it shows how
 	// far the conversion got); report the error after the table.
-	for _, w := range warningsOf(result) {
+	for _, w := range warnings {
 		fmt.Fprintln(stderr, "yatprof: warning:", w)
 	}
 	if *jsonFlag {

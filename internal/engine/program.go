@@ -47,6 +47,9 @@ type Options struct {
 	// between rounds and between work batches and, once cancelled,
 	// stops and returns an error wrapping ctx.Err(). Nil means the
 	// run cannot be cancelled.
+	//
+	// Deprecated: pass the context first-class through RunContext (or
+	// WithContext); it overrides this field.
 	Context context.Context
 	// Trace receives typed events for every phase of the run (see
 	// internal/trace): matching attempts, external calls with
@@ -79,6 +82,11 @@ type Result struct {
 	// matched — the condition the §3.5 exception rule reports.
 	Unconverted []tree.Value
 	Stats       Stats
+
+	// Slice-run extras (set by RunSlice, nil on full runs): per-rule
+	// committed identities and per-rule directly-matched sources.
+	ruleOIDs map[string][]tree.Name
+	ruleSrc  map[string][]tree.Name
 }
 
 // ErrUnconverted is returned when the program contains an exception
@@ -96,14 +104,44 @@ func (e *ErrUnconverted) Error() string {
 	return "engine: exception rule fired: input data not converted: " + strings.Join(parts, ", ")
 }
 
+// FixpointError reports that the activation fixpoint exceeded its
+// round bound (Options.MaxRounds) without converging.
+type FixpointError struct {
+	Rounds int
+}
+
+func (e *FixpointError) Error() string {
+	return fmt.Sprintf("engine: activation fixpoint did not converge within %d rounds", e.Rounds)
+}
+
 // Run executes a YATL program over the input store and returns the
 // converted outputs. The run follows the five phases of §3.1, with
 // Skolem functions global to the program so rule order is irrelevant,
 // hierarchy dispatch per §4.2, and end-of-run dereferencing.
-func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error) {
-	if opts == nil {
-		opts = &Options{}
+//
+// Configuration is variadic: pass With* options, a legacy *Options
+// value, or nothing for the defaults.
+func Run(prog *yatl.Program, inputs *tree.Store, opts ...Option) (*Result, error) {
+	return execute(prog, inputs, NewOptions(opts...), nil)
+}
+
+// RunContext is Run with a first-class cancellation context. It
+// overrides any context carried in the options.
+func RunContext(ctx context.Context, prog *yatl.Program, inputs *tree.Store, opts ...Option) (*Result, error) {
+	o := NewOptions(opts...)
+	if ctx != nil {
+		o.Context = ctx
 	}
+	return execute(prog, inputs, o, nil)
+}
+
+// execute is the shared run core. With a nil slice it is a full run;
+// with a slice it restricts matching and evaluation to the slice's
+// rules, constructs only the construct set, and skips the full-run
+// diagnostics that assume every rule ran (dangling-reference warnings
+// and the §3.5 exception check — slices never contain exception
+// rules).
+func execute(prog *yatl.Program, inputs *tree.Store, opts *Options, sl *Slice) (*Result, error) {
 	reg := opts.Registry
 	if reg == nil {
 		reg = NewRegistry()
@@ -128,9 +166,17 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// A slice run interprets the restricted sub-program: the slice's
+	// rules in declaration order, whole functor groups at a time, so
+	// the §4.2 blocking and ordering semantics within each group are
+	// exactly those of the full program.
+	if sl != nil {
+		prog = sl.subProgram(prog)
+	}
 
 	r := &run{
 		prog:      prog,
+		sl:        sl,
 		reg:       reg,
 		opts:      opts,
 		ctx:       ctx,
@@ -169,7 +215,7 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 	for r.processed < len(r.active) {
 		rounds++
 		if rounds > maxRounds {
-			return nil, fmt.Errorf("engine: activation fixpoint did not converge within %d rounds", maxRounds)
+			return nil, &FixpointError{Rounds: maxRounds}
 		}
 		pending := r.active[r.processed:]
 		r.processed = len(r.active)
@@ -205,6 +251,11 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 		if rule.Exception {
 			continue
 		}
+		// Support rules of a slice exist only to feed activations;
+		// their outputs are not demanded and are not built.
+		if sl != nil && !sl.Constructs(rule.Name) {
+			continue
+		}
 		if err := r.constructRule(rule); err != nil {
 			return nil, err
 		}
@@ -216,8 +267,12 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 	if err := expandDerefs(r.outputs); err != nil {
 		return nil, err
 	}
-	for _, name := range danglingRefs(r.outputs, inputs) {
-		r.warn(fmt.Sprintf("dangling reference &%s in output", name))
+	// A slice store is partial by design — references into functors
+	// outside the closure are expected, not dangling.
+	if sl == nil {
+		for _, name := range danglingRefs(r.outputs, inputs) {
+			r.warn(fmt.Sprintf("dangling reference &%s in output", name))
+		}
 	}
 	if opts.CheckOutputs != nil {
 		r.checkOutputs(opts.CheckOutputs)
@@ -233,6 +288,8 @@ func Run(prog *yatl.Program, inputs *tree.Store, opts *Options) (*Result, error)
 			Outputs:     r.outputs.Len(),
 			Rounds:      rounds,
 		},
+		ruleOIDs: r.ruleOIDs,
+		ruleSrc:  r.ruleSrc,
 	}
 	if r.sink != nil {
 		r.sink.Emit(trace.Event{Kind: trace.KindRunEnd, Phase: trace.PhaseRun, Duration: time.Since(runStart)})
@@ -311,6 +368,16 @@ type run struct {
 
 	ruleState map[string]*ruleState
 	warnings  []string
+
+	// Slice bookkeeping (nil sl on full runs; the hot path is
+	// untouched then). ruleOIDs records, per construct rule, the
+	// Skolem identities it committed, in store insertion order;
+	// ruleSrc records, per rule, the source inputs that directly
+	// matched it — the seed of fine-grained source invalidation.
+	sl       *Slice
+	ruleOIDs map[string][]tree.Name
+	ruleSrc  map[string][]tree.Name
+	srcSeen  map[string]map[string]bool
 }
 
 func (r *run) warn(msg string) { r.warnings = append(r.warnings, msg) }
@@ -332,6 +399,31 @@ func (r *run) activate(id tree.Value, node *tree.Node, source bool) {
 	}
 	r.seenIDs[key] = true
 	r.active = append(r.active, &activation{id: id, node: node, source: source})
+}
+
+// recordSource notes that a source input directly matched a rule
+// (slice runs only; the mediator's InvalidateSource closes over these
+// sets to find the cached rules a changed source can reach).
+func (r *run) recordSource(rule string, id tree.Value) {
+	ref, ok := id.(tree.Ref)
+	if !ok {
+		return
+	}
+	if r.srcSeen == nil {
+		r.srcSeen = map[string]map[string]bool{}
+		r.ruleSrc = map[string][]tree.Name{}
+	}
+	seen := r.srcSeen[rule]
+	if seen == nil {
+		seen = map[string]bool{}
+		r.srcSeen[rule] = seen
+	}
+	key := ref.Name.Key()
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	r.ruleSrc[rule] = append(r.ruleSrc[rule], ref.Name)
 }
 
 // activateValue turns a Skolem-argument value into an activation: a
@@ -440,6 +532,9 @@ func (r *run) applyMatches(mr *matchResult) {
 		mr.a.matched = true
 	}
 	for _, rm := range mr.perRule {
+		if r.sl != nil && mr.a.source {
+			r.recordSource(rm.rule.Name, mr.a.id)
+		}
 		s := r.ruleState[rm.rule.Name]
 		if rm.multi == nil {
 			r.addRaw(s, rm.single)
@@ -806,6 +901,12 @@ func (r *run) constructRule(rule *yatl.Rule) error {
 			return err
 		}
 		out := outs[i]
+		if r.sl != nil {
+			if r.ruleOIDs == nil {
+				r.ruleOIDs = map[string][]tree.Name{}
+			}
+			r.ruleOIDs[rule.Name] = append(r.ruleOIDs[rule.Name], g.oid)
+		}
 		if prev, ok := r.outputs.Get(g.oid); ok {
 			if !prev.Equal(out) {
 				ndErr := &NonDetError{Rule: rule.Name, OID: g.oid,

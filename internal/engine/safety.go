@@ -27,12 +27,24 @@ func CheckSafety(prog *yatl.Program) error {
 	if len(violations) == 0 {
 		return nil
 	}
+	return &SafetyError{Violations: violations}
+}
+
+// SafetyError is the typed form of a CheckSafety failure: the program
+// dereferences a Skolem cycle and at least one rule on the cycle is
+// not safe-recursive. It is errors.As-able through every API that
+// runs the check (engine.Run, the yat facade, the mediator).
+type SafetyError struct {
+	Violations []SafetyViolation
+}
+
+func (e *SafetyError) Error() string {
 	var errs []string
-	for _, v := range violations {
+	for _, v := range e.Violations {
 		errs = append(errs, fmt.Sprintf("rule %s (functor %s): %s", v.Rule.Name, v.Functor, v.Reason))
 	}
-	return fmt.Errorf("engine: potentially cyclic program (dereferenced Skolem cycle through %s) and not safe-recursive:\n  %s",
-		strings.Join(violations[0].Cycle, " -> "), strings.Join(errs, "\n  "))
+	return fmt.Sprintf("engine: potentially cyclic program (dereferenced Skolem cycle through %s) and not safe-recursive:\n  %s",
+		strings.Join(e.Violations[0].Cycle, " -> "), strings.Join(errs, "\n  "))
 }
 
 // SafetyViolation is one rule failing the §3.4 safe-recursion check:

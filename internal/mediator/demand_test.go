@@ -1,0 +1,349 @@
+package mediator
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"yat/internal/engine"
+	"yat/internal/trace"
+	"yat/internal/tree"
+	"yat/internal/workload"
+	"yat/internal/yatl"
+)
+
+func answersKey(t *testing.T, as []Answer) string {
+	t.Helper()
+	out := ""
+	for _, a := range as {
+		out += a.Name.Key() + "|" + a.Binding.Key() + "\n"
+	}
+	return out
+}
+
+// The golden equivalence gate: a demand-driven mediator answers every
+// query byte-identically to a full-materialization mediator, for every
+// builtin program, functor restriction and parallelism setting.
+func TestDemandMatchesFullMediator(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		inputs   *tree.Store
+		pattern  string
+		functors []string
+	}{
+		{"sgml2odmg-sup", yatl.SGMLToODMGSource, workload.BrochureStore(8, 2, 5, 42), `X`, []string{"Psup"}},
+		{"sgml2odmg-car", yatl.SGMLToODMGSource, workload.BrochureStore(8, 2, 5, 42), `class -> car -*> Y`, []string{"Pcar"}},
+		{"sgml2odmg-all", yatl.SGMLToODMGSource, workload.BrochureStore(8, 2, 5, 42), `X`, nil},
+		{"sgml2odmgTyped-sup", yatl.AnnotatedSGMLToODMGSource, workload.BrochureStore(8, 2, 5, 42), `class -> supplier < -> name -> N, -> city -> C, -> zip -> Z >`, []string{"Psup"}},
+		{"sgml2odmgPrime-both", yatl.SGMLToODMGPrimeSource, workload.BrochureStore(8, 2, 5, 42), `X`, []string{"Pcar", "Psup"}},
+		{"odmg2html-page", yatl.WebProgramSource, workload.ODMGStore(5, 3, 2, 7), `html < -> head -> H, -> body -*> B >`, []string{"HtmlPage"}},
+		{"odmg2html-elem", yatl.WebProgramSource, workload.ODMGStore(5, 3, 2, 7), `X`, []string{"HtmlElement"}},
+		{"selective-one", workload.SelectiveProgram(6), workload.BrochureStore(6, 2, 5, 11), `view < -> name -> N, -> city -> C, -> zip -> Z >`, []string{"Pview2"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog := yatl.MustParse(c.src)
+			for _, par := range []int{1, 4, 8} {
+				full := New(prog, c.inputs, engine.WithParallelism(par))
+				want, err := full.Ask(c.pattern, c.functors...)
+				if err != nil {
+					t.Fatalf("full @%d: %v", par, err)
+				}
+				if len(want) == 0 {
+					t.Fatalf("@%d: vacuous case, the pattern matches nothing", par)
+				}
+				demand := New(prog, c.inputs, engine.WithParallelism(par), WithDemandDriven(true))
+				got, err := demand.Ask(c.pattern, c.functors...)
+				if err != nil {
+					t.Fatalf("demand @%d: %v", par, err)
+				}
+				if answersKey(t, got) != answersKey(t, want) {
+					t.Fatalf("@%d: demand answers differ from full\n got:\n%s\nwant:\n%s",
+						par, answersKey(t, got), answersKey(t, want))
+				}
+				// Warm repeat must be identical too.
+				again, err := demand.Ask(c.pattern, c.functors...)
+				if err != nil {
+					t.Fatalf("warm @%d: %v", par, err)
+				}
+				if answersKey(t, again) != answersKey(t, want) {
+					t.Fatalf("@%d: warm demand answers differ", par)
+				}
+			}
+		})
+	}
+}
+
+// Query pushdown, observed through the trace layer: a Psup ask on the
+// typed program computes a one-rule slice, only that rule matches, and
+// a repeat ask is a pure cache hit with no engine run.
+func TestDemandEvaluatesOnlyTheSlice(t *testing.T) {
+	prog := yatl.MustParse(yatl.AnnotatedSGMLToODMGSource)
+	rec := &trace.Recorder{}
+	m := New(prog, workload.BrochureStore(6, 2, 4, 3),
+		engine.WithTrace(rec), WithDemandDriven(true))
+	if _, err := m.Ask(`X`, "Psup"); err != nil {
+		t.Fatal(err)
+	}
+	slices, misses, hits := 0, 0, 0
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.KindSliceComputed:
+			slices++
+		case trace.KindCacheMiss:
+			misses++
+		case trace.KindCacheHit:
+			hits++
+		case trace.KindMatch:
+			if e.Rule != "Sup" {
+				t.Errorf("rule %s matched outside the Psup slice", e.Rule)
+			}
+		}
+	}
+	if slices != 1 || misses != 1 || hits != 0 {
+		t.Errorf("cold ask: slices=%d misses=%d hits=%d, want 1/1/0", slices, misses, hits)
+	}
+	before := len(rec.Events())
+	if _, err := m.Ask(`X`, "Psup"); err != nil {
+		t.Fatal(err)
+	}
+	var fresh []trace.Event
+	for _, e := range rec.Events()[before:] {
+		fresh = append(fresh, e)
+	}
+	if len(fresh) != 1 || fresh[0].Kind != trace.KindCacheHit || fresh[0].Rule != "Sup" {
+		t.Errorf("warm ask emitted %v, want a single Sup cache hit", fresh)
+	}
+	if s := m.Stats(); !s.Demand || s.SliceRuns != 1 || s.CachedRules != 1 || s.Materialized {
+		t.Errorf("stats after one sliced ask: %+v", s)
+	}
+}
+
+// countedViews is a two-rule program whose rules read different source
+// shapes and count their external calls, making engine re-runs
+// observable per rule.
+func countedViews(t *testing.T) (*yatl.Program, *tree.Store, *engine.Registry, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var ca, cb atomic.Int64
+	reg := engine.NewRegistry()
+	for _, c := range []struct {
+		name    string
+		counter *atomic.Int64
+	}{{"count_a", &ca}, {"count_b", &cb}} {
+		counter := c.counter
+		reg.Register(engine.Func{
+			Name: c.name, Params: []engine.ParamType{engine.Text}, Result: engine.Text,
+			Fn: func(args []tree.Value) (tree.Value, error) {
+				counter.Add(1)
+				return args[0], nil
+			},
+		})
+	}
+	prog := yatl.MustParse(`
+program twoviews
+rule A {
+  head Pa(X) = outa -> V
+  from X = ina -> D
+  let V = count_a(D)
+}
+rule B {
+  head Pb(X) = outb -> V
+  from X = inb -> D
+  let V = count_b(D)
+}
+`)
+	store := tree.NewStore()
+	for i := 0; i < 3; i++ {
+		store.Put(tree.PlainName(fmt.Sprintf("a%d", i+1)), tree.Sym("ina", tree.Str(fmt.Sprintf("va%d", i+1))))
+		store.Put(tree.PlainName(fmt.Sprintf("b%d", i+1)), tree.Sym("inb", tree.Str(fmt.Sprintf("vb%d", i+1))))
+	}
+	return prog, store, reg, &ca, &cb
+}
+
+// Fine-grained invalidation: dropping one rule re-runs that rule's
+// slice only; the other rule's cache stays warm. Source invalidation
+// drops only the rules that matched the source.
+func TestDemandFineGrainedInvalidation(t *testing.T) {
+	prog, store, reg, ca, cb := countedViews(t)
+	m := New(prog, store, engine.WithRegistry(reg), WithDemandDriven(true))
+	ask := func() {
+		t.Helper()
+		if _, err := m.Ask(`X`, "Pa"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Ask(`X`, "Pb"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ask()
+	if ca.Load() != 3 || cb.Load() != 3 {
+		t.Fatalf("cold asks ran a=%d b=%d, want 3/3", ca.Load(), cb.Load())
+	}
+	ask() // warm: no engine work
+	if ca.Load() != 3 || cb.Load() != 3 {
+		t.Fatalf("warm asks re-ran the engine: a=%d b=%d", ca.Load(), cb.Load())
+	}
+	m.InvalidateRule("A")
+	ask()
+	if ca.Load() != 6 || cb.Load() != 3 {
+		t.Fatalf("InvalidateRule(A) should re-run A only: a=%d b=%d", ca.Load(), cb.Load())
+	}
+	m.InvalidateSource(tree.PlainName("b2"))
+	ask()
+	if ca.Load() != 6 || cb.Load() != 6 {
+		t.Fatalf("InvalidateSource(b2) should re-run B only: a=%d b=%d", ca.Load(), cb.Load())
+	}
+	m.Invalidate()
+	ask()
+	if ca.Load() != 9 || cb.Load() != 9 {
+		t.Fatalf("Invalidate should drop everything: a=%d b=%d", ca.Load(), cb.Load())
+	}
+	// SliceRuns (like Run) is per-generation: the full Invalidate
+	// swapped in a fresh generation, whose two cold asks ran twice.
+	if s := m.Stats(); !s.Materialized || s.CachedRules != 2 || s.SliceRuns != 2 ||
+		s.CacheHits != 4 || s.CacheMisses != 6 {
+		t.Errorf("final stats: %+v", s)
+	}
+}
+
+// On a full-materialization mediator the fine-grained calls degrade to
+// Invalidate (there is nothing smaller to drop).
+func TestInvalidateRuleFullModeDegrades(t *testing.T) {
+	prog, store, reg, ca, _ := countedViews(t)
+	m := New(prog, store, engine.WithRegistry(reg))
+	if _, err := m.Ask(`X`); err != nil {
+		t.Fatal(err)
+	}
+	m.InvalidateRule("A")
+	if s := m.Stats(); s.Materialized {
+		t.Error("InvalidateRule on a full mediator must invalidate the generation")
+	}
+	if _, err := m.Ask(`X`); err != nil {
+		t.Fatal(err)
+	}
+	if ca.Load() != 6 {
+		t.Errorf("full-mode re-materialization ran A %d times, want 6", ca.Load())
+	}
+}
+
+// Demand-driven Get materializes only the identity's functor; Functors
+// completes the materialization.
+func TestDemandGetAndFunctors(t *testing.T) {
+	prog := yatl.MustParse(yatl.SGMLToODMGSource)
+	m := New(prog, workload.BrochureStore(5, 2, 4, 42), WithDemandDriven(true))
+	n, ok, err := m.Get(tree.SkolemName("Pcar", tree.Ref{Name: tree.PlainName("b1")}))
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if !n.Label.Equal(tree.Symbol("class")) {
+		t.Errorf("object = %s", n)
+	}
+	if s := m.Stats(); s.CachedRules != 1 || s.Materialized {
+		t.Errorf("Get should cache the Pcar rule only: %+v", s)
+	}
+	fs, err := m.Functors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 || fs[0] != "Pcar" || fs[1] != "Psup" {
+		t.Errorf("functors = %v", fs)
+	}
+	if s := m.Stats(); !s.Materialized || s.CachedRules != 2 {
+		t.Errorf("Functors should complete materialization: %+v", s)
+	}
+	if _, ok, _ := m.Get(tree.PlainName("ghost")); ok {
+		t.Error("Get(ghost) found")
+	}
+}
+
+// A failing slice run surfaces its error, is not cached, and retries.
+func TestDemandErrorNotCached(t *testing.T) {
+	prog := yatl.MustParse(`
+program failing
+rule R {
+  head Pout(X) = out -> V
+  from X = in -> D
+  let V = raise(D)
+}
+`)
+	store := tree.NewStore()
+	store.Put(tree.PlainName("i1"), tree.Sym("in", tree.Str("boom")))
+	m := New(prog, store, WithDemandDriven(true))
+	if _, err := m.Ask(`X`, "Pout"); err == nil {
+		t.Fatal("conversion should have failed")
+	}
+	if s := m.Stats(); s.Err == nil || s.Materialized || s.CachedRules != 0 {
+		t.Errorf("failure not reflected in stats: %+v", s)
+	}
+	if _, err := m.Ask(`X`, "Pout"); err == nil {
+		t.Fatal("retry should fail again")
+	}
+	if s := m.Stats(); s.SliceRuns != 0 {
+		t.Errorf("failed runs must not count as slice runs: %+v", s)
+	}
+}
+
+// The -race gate for demand mode: overlapping asks racing rule, source
+// and full invalidations at several widths. Answers must stay
+// byte-identical throughout — invalidation changes caching, never
+// results.
+func TestDemandConcurrentAskInvalidate(t *testing.T) {
+	prog := yatl.MustParse(yatl.SGMLToODMGSource)
+	inputs := workload.BrochureStore(6, 2, 4, 17)
+	for _, par := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			m := New(prog, inputs, engine.WithParallelism(par), WithDemandDriven(true))
+			wantSup, err := m.Ask(`X`, "Psup")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCar, err := m.Ask(`X`, "Pcar")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSupKey, wantCarKey := answersKey(t, wantSup), answersKey(t, wantCar)
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < 25; i++ {
+						functor, want := "Psup", wantSupKey
+						if (c+i)%2 == 0 {
+							functor, want = "Pcar", wantCarKey
+						}
+						got, err := m.Ask(`X`, functor)
+						if err != nil {
+							t.Errorf("Ask(%s): %v", functor, err)
+							return
+						}
+						if answersKey(t, got) != want {
+							t.Errorf("Ask(%s) answers changed under invalidation", functor)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					switch i % 4 {
+					case 0:
+						m.InvalidateRule("Sup")
+					case 1:
+						m.InvalidateSource(tree.PlainName("b1"))
+					case 2:
+						m.Invalidate()
+					case 3:
+						m.InvalidateRule("Car")
+					}
+					m.Stats()
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}

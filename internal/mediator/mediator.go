@@ -12,13 +12,23 @@
 // mediator over `Compose(prg1, prg2)` answers queries over M3 against
 // M1 sources with no intermediate M2 store at all.
 //
+// With WithDemandDriven the mediator goes further and pushes the
+// query into the engine: an Ask restricted to some functors computes
+// the dependency-closed rule slice for those functors
+// (engine.ComputeSlice), runs only that slice, and memoizes the
+// materialized outputs per rule so overlapping slices reuse work.
+// InvalidateRule and InvalidateSource then drop only the cached rules
+// whose outputs could have depended on the change.
+//
 // A Mediator is safe for concurrent use: a production mediator serves
 // many clients at once, so concurrent Ask/Get/Functors calls share a
-// single materialization (guarded by sync.Once) and then match
-// against the immutable result store without further locking.
+// single materialization (guarded by sync.Once, or by the demand
+// cache's lock) and then match against a consistent snapshot without
+// further locking.
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,9 +37,24 @@ import (
 
 	"yat/internal/engine"
 	"yat/internal/pattern"
+	"yat/internal/trace"
 	"yat/internal/tree"
 	"yat/internal/yatl"
 )
+
+// WithDemandDriven switches the mediator to demand-driven evaluation:
+// instead of materializing the whole target on the first query, each
+// Ask runs only the rule slice its functors need and caches the
+// results per rule. It is an engine.Option so it can travel in the
+// same option list as engine configuration; passed to engine.Run
+// directly it is a no-op.
+func WithDemandDriven(on bool) engine.Option { return demandOption(on) }
+
+type demandOption bool
+
+// Apply implements engine.Option. The option configures the mediator,
+// not the engine, so it writes nothing.
+func (demandOption) Apply(*engine.Options) {}
 
 // generation is one materialization lifetime: Invalidate swaps in a
 // fresh generation, so a query racing an invalidation keeps a
@@ -41,12 +66,52 @@ type generation struct {
 	err    error
 }
 
-func (g *generation) materialize(prog *yatl.Program, inputs *tree.Store, opts *engine.Options) (*engine.Result, error) {
+func (g *generation) materialize(ctx context.Context, prog *yatl.Program, inputs *tree.Store, opts *engine.Options) (*engine.Result, error) {
 	g.once.Do(func() {
-		g.result, g.err = engine.Run(prog, inputs, opts)
+		g.result, g.err = engine.RunContext(ctx, prog, inputs, opts)
 		g.done.Store(true)
 	})
 	return g.result, g.err
+}
+
+// demandGen is one demand-driven cache lifetime: a per-rule memo of
+// materialized outputs assembled from slice runs. Invalidate swaps in
+// a fresh one, so a query racing an invalidation keeps a consistent
+// view; InvalidateRule and InvalidateSource instead drop entries
+// surgically under the generation lock.
+type demandGen struct {
+	mu sync.Mutex
+	// store accumulates the entries of every cached rule. It is only
+	// read and written under mu; queries match against snapshots.
+	store *tree.Store
+	// cached marks the construct rules whose outputs are materialized.
+	cached map[string]bool
+	// ruleEntries lists each cached rule's committed entries, the
+	// exact set to evict when the rule is invalidated.
+	ruleEntries map[string][]tree.StoreEntry
+	// ruleSources records, per slice rule (construct and support), the
+	// keys of source inputs that directly matched it — the dependency
+	// data behind InvalidateSource.
+	ruleSources map[string]map[string]bool
+	// stats accumulates engine statistics across slice runs.
+	// Overlapping slices re-run shared dependencies, so the totals
+	// measure work performed, not distinct outputs.
+	stats engine.Stats
+	// runs counts engine slice executions.
+	runs int64
+	// lastErr is the error of the most recent slice run, nil after a
+	// success. Unlike the full-mode generation, a failed slice run is
+	// not memoized: the next query retries.
+	lastErr error
+}
+
+func newDemandGen() *demandGen {
+	return &demandGen{
+		store:       tree.NewStore(),
+		cached:      map[string]bool{},
+		ruleEntries: map[string][]tree.StoreEntry{},
+		ruleSources: map[string]map[string]bool{},
+	}
 }
 
 // Mediator answers queries over the virtual target of a conversion.
@@ -54,9 +119,12 @@ type Mediator struct {
 	prog   *yatl.Program
 	inputs *tree.Store
 	opts   *engine.Options
+	demand bool
 
-	mu  sync.Mutex // guards gen and lastGood
+	mu  sync.Mutex // guards gen, dgen and lastGood
 	gen *generation
+	// dgen is the demand-driven cache, nil unless WithDemandDriven.
+	dgen *demandGen
 	// lastGood retains the stats of the most recent successful
 	// materialization so they stay readable after Invalidate until
 	// the next generation materializes.
@@ -71,21 +139,36 @@ type Mediator struct {
 }
 
 // New returns a mediator over the program and sources. Nothing runs
-// until the first query.
-func New(prog *yatl.Program, inputs *tree.Store, opts *engine.Options) *Mediator {
-	return &Mediator{prog: prog, inputs: inputs, opts: opts, gen: &generation{}}
+// until the first query. Options configure the underlying engine runs
+// (a legacy *engine.Options value also works: it satisfies
+// engine.Option); WithDemandDriven selects the evaluation strategy.
+func New(prog *yatl.Program, inputs *tree.Store, opts ...engine.Option) *Mediator {
+	m := &Mediator{prog: prog, inputs: inputs, gen: &generation{}}
+	var eng []engine.Option
+	for _, o := range opts {
+		if d, ok := o.(demandOption); ok {
+			m.demand = bool(d)
+			continue
+		}
+		eng = append(eng, o)
+	}
+	m.opts = engine.NewOptions(eng...)
+	if m.demand {
+		m.dgen = newDemandGen()
+	}
+	return m
 }
 
 // materialize runs the conversion once per generation; concurrent
 // callers block on the same sync.Once and share the outcome. The
 // boolean reports whether the generation was already materialized
 // when the caller arrived (a cache hit for Stats accounting).
-func (m *Mediator) materialize() (*engine.Result, bool, error) {
+func (m *Mediator) materialize(ctx context.Context) (*engine.Result, bool, error) {
 	m.mu.Lock()
 	g := m.gen
 	m.mu.Unlock()
 	warm := g.done.Load()
-	res, err := g.materialize(m.prog, m.inputs, m.opts)
+	res, err := g.materialize(ctx, m.prog, m.inputs, m.opts)
 	if err == nil && !warm {
 		m.mu.Lock()
 		// Only credit the generation still current: a stale run
@@ -110,39 +193,74 @@ type Answer struct {
 // Ask matches a pattern (in YATL concrete syntax) against the virtual
 // target and returns one answer per (object, binding). Optional
 // functors restrict the search to objects minted by those Skolem
-// functors.
+// functors; a demand-driven mediator then materializes only the rule
+// slice those functors need.
 func (m *Mediator) Ask(patternSrc string, functors ...string) ([]Answer, error) {
+	return m.AskContext(nil, patternSrc, functors...)
+}
+
+// AskContext is Ask with a cancellation context applied to any engine
+// run the query triggers.
+func (m *Mediator) AskContext(ctx context.Context, patternSrc string, functors ...string) ([]Answer, error) {
 	pt, err := yatl.ParsePattern(patternSrc)
 	if err != nil {
 		return nil, fmt.Errorf("mediator: %w", err)
 	}
-	return m.AskPattern(pt, functors...)
+	return m.AskPatternContext(ctx, pt, functors...)
 }
 
 // AskPattern is Ask over a parsed pattern.
 func (m *Mediator) AskPattern(pt *pattern.PTree, functors ...string) ([]Answer, error) {
+	return m.AskPatternContext(nil, pt, functors...)
+}
+
+// AskPatternContext is AskPattern with a cancellation context applied
+// to any engine run the query triggers.
+func (m *Mediator) AskPatternContext(ctx context.Context, pt *pattern.PTree, functors ...string) ([]Answer, error) {
 	start := time.Now()
 	defer func() { m.askNanos.Add(time.Since(start).Nanoseconds()) }()
 	m.asks.Add(1)
-	res, warm, err := m.materialize()
-	if warm {
-		m.cacheHits.Add(1)
-	} else {
-		m.cacheMiss.Add(1)
-	}
-	if err != nil {
-		return nil, err
-	}
-	want := map[string]bool{}
-	for _, f := range functors {
-		want[f] = true
-	}
-	matcher := &engine.Matcher{Store: res.Outputs}
-	var out []Answer
-	for _, e := range res.Outputs.Entries() {
-		if len(want) > 0 && !want[e.Name.Functor] {
-			continue
+	var entries []tree.StoreEntry
+	var matcher *engine.Matcher
+	if m.demand {
+		es, hit, err := m.ensureDemand(ctx, functors)
+		if hit {
+			m.cacheHits.Add(1)
+		} else {
+			m.cacheMiss.Add(1)
 		}
+		if err != nil {
+			return nil, err
+		}
+		entries = es
+		// The demand store may gain entries concurrently; with no
+		// model, conformance (the only store consumer) is skipped, so
+		// a storeless matcher is exactly the full-mode matcher.
+		matcher = &engine.Matcher{}
+	} else {
+		res, warm, err := m.materialize(ctx)
+		if warm {
+			m.cacheHits.Add(1)
+		} else {
+			m.cacheMiss.Add(1)
+		}
+		if err != nil {
+			return nil, err
+		}
+		want := map[string]bool{}
+		for _, f := range functors {
+			want[f] = true
+		}
+		for _, e := range res.Outputs.Entries() {
+			if len(want) > 0 && !want[e.Name.Functor] {
+				continue
+			}
+			entries = append(entries, e)
+		}
+		matcher = &engine.Matcher{Store: res.Outputs}
+	}
+	var out []Answer
+	for _, e := range entries {
 		for _, b := range matcher.MatchTree(pt, e.Tree) {
 			out = append(out, Answer{Name: e.Name, Binding: b})
 		}
@@ -156,9 +274,115 @@ func (m *Mediator) AskPattern(pt *pattern.PTree, functors ...string) ([]Answer, 
 	return out, nil
 }
 
-// Get resolves one virtual object by Skolem identity.
+// ensureDemand guarantees every construct rule of the slice for the
+// given functors (none = the whole program) is cached, running the
+// engine over the missing sub-slice when necessary. It returns a
+// consistent snapshot of the cached entries restricted to the
+// requested functors, and whether the query was served entirely from
+// cache.
+func (m *Mediator) ensureDemand(ctx context.Context, functors []string) ([]tree.StoreEntry, bool, error) {
+	m.mu.Lock()
+	g := m.dgen
+	m.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	ask := engine.ComputeSlice(m.prog, functors...)
+	var missing []*yatl.Rule
+	for _, r := range ask.Construct {
+		if !g.cached[r.Name] {
+			missing = append(missing, r)
+		}
+	}
+	if m.opts.Trace != nil {
+		for _, r := range ask.Construct {
+			kind := trace.KindCacheHit
+			if !g.cached[r.Name] {
+				kind = trace.KindCacheMiss
+			}
+			m.opts.Trace.Emit(trace.Event{Kind: kind, Phase: trace.PhaseSlice, Rule: r.Name})
+		}
+	}
+	if len(missing) > 0 {
+		// Re-slice from the missing functors and run from scratch:
+		// re-deriving a cached dependency repeats work but keeps the
+		// activation fixpoint identical to a full run's, which is what
+		// makes the cached entries byte-identical and composable.
+		var fs []string
+		seen := map[string]bool{}
+		for _, r := range missing {
+			if !seen[r.Head.Functor] {
+				seen[r.Head.Functor] = true
+				fs = append(fs, r.Head.Functor)
+			}
+		}
+		sub := engine.ComputeSlice(m.prog, fs...)
+		res, err := engine.RunSlice(ctx, m.prog, m.inputs, sub, m.opts)
+		if err != nil {
+			g.lastErr = err
+			return nil, false, err
+		}
+		g.lastErr = nil
+		g.runs++
+		g.stats.Activations += res.Stats.Activations
+		g.stats.Bindings += res.Stats.Bindings
+		g.stats.Outputs += res.Stats.Outputs
+		g.stats.Rounds += res.Stats.Rounds
+		for _, r := range sub.Construct {
+			g.cached[r.Name] = true
+			g.ruleEntries[r.Name] = res.RuleOutputs[r.Name]
+			for _, e := range res.RuleOutputs[r.Name] {
+				g.store.Put(e.Name, e.Tree)
+			}
+		}
+		for rule, srcs := range res.RuleSources {
+			set := g.ruleSources[rule]
+			if set == nil {
+				set = map[string]bool{}
+				g.ruleSources[rule] = set
+			}
+			for _, s := range srcs {
+				set[s.Key()] = true
+			}
+		}
+	}
+	want := map[string]bool{}
+	for _, f := range functors {
+		want[f] = true
+	}
+	var out []tree.StoreEntry
+	for _, e := range g.store.Entries() {
+		if len(want) > 0 && !want[e.Name.Functor] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, len(missing) == 0, nil
+}
+
+// Get resolves one virtual object by Skolem identity. A demand-driven
+// mediator materializes only the identity's functor slice.
 func (m *Mediator) Get(name tree.Name) (*tree.Node, bool, error) {
-	res, _, err := m.materialize()
+	return m.GetContext(nil, name)
+}
+
+// GetContext is Get with a cancellation context applied to any engine
+// run the lookup triggers.
+func (m *Mediator) GetContext(ctx context.Context, name tree.Name) (*tree.Node, bool, error) {
+	if m.demand {
+		entries, _, err := m.ensureDemand(ctx, []string{name.Functor})
+		if err != nil {
+			return nil, false, err
+		}
+		key := name.Key()
+		for _, e := range entries {
+			if e.Name.Key() == key {
+				return e.Tree, true, nil
+			}
+		}
+		return nil, false, nil
+	}
+	res, _, err := m.materialize(ctx)
 	if err != nil {
 		return nil, false, err
 	}
@@ -167,14 +391,26 @@ func (m *Mediator) Get(name tree.Name) (*tree.Node, bool, error) {
 }
 
 // Functors lists the Skolem functors present in the target, sorted.
+// This needs the whole target, so a demand-driven mediator fully
+// materializes here.
 func (m *Mediator) Functors() ([]string, error) {
-	res, _, err := m.materialize()
-	if err != nil {
-		return nil, err
+	var entries []tree.StoreEntry
+	if m.demand {
+		es, _, err := m.ensureDemand(nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		entries = es
+	} else {
+		res, _, err := m.materialize(nil)
+		if err != nil {
+			return nil, err
+		}
+		entries = res.Outputs.Entries()
 	}
 	seen := map[string]bool{}
 	var out []string
-	for _, e := range res.Outputs.Entries() {
+	for _, e := range entries {
 		if !seen[e.Name.Functor] {
 			seen[e.Name.Functor] = true
 			out = append(out, e.Name.Functor)
@@ -208,12 +444,23 @@ type Stats struct {
 	// AskTime is the cumulative wall time spent inside Ask calls;
 	// divide by Asks for the mean per-query latency.
 	AskTime time.Duration
+	// Demand reports the mediator evaluates demand-driven. The fields
+	// below are only meaningful when it is set.
+	Demand bool
+	// CachedRules is the number of construct rules currently cached.
+	CachedRules int
+	// SliceRuns counts engine slice executions performed; an Ask that
+	// increments CacheHits performed none.
+	SliceRuns int64
 }
 
 // Stats exposes the mediator's statistics. It never triggers a
 // materialization itself; the atomic done flag orders the read after
 // the run's writes.
 func (m *Mediator) Stats() Stats {
+	if m.demand {
+		return m.demandStats()
+	}
 	m.mu.Lock()
 	g := m.gen
 	s := Stats{Run: m.lastGood}
@@ -235,11 +482,140 @@ func (m *Mediator) Stats() Stats {
 	return s
 }
 
+// demandStats assembles Stats for a demand-driven mediator: Run
+// accumulates engine work across slice runs, Materialized means every
+// construct rule of the program is cached.
+func (m *Mediator) demandStats() Stats {
+	m.mu.Lock()
+	g := m.dgen
+	m.mu.Unlock()
+	g.mu.Lock()
+	s := Stats{
+		Run:         g.stats,
+		Demand:      true,
+		CachedRules: len(g.cached),
+		SliceRuns:   g.runs,
+		Err:         g.lastErr,
+	}
+	full := engine.ComputeSlice(m.prog)
+	s.Materialized = len(full.Construct) > 0
+	for _, r := range full.Construct {
+		if !g.cached[r.Name] {
+			s.Materialized = false
+			break
+		}
+	}
+	g.mu.Unlock()
+	s.Asks = m.asks.Load()
+	s.CacheHits = m.cacheHits.Load()
+	s.CacheMisses = m.cacheMiss.Load()
+	s.AskTime = time.Duration(m.askNanos.Load())
+	return s
+}
+
 // Invalidate drops the materialized target, forcing the next query to
 // reconvert (sources changed). Queries already running against the
 // old generation finish against its consistent snapshot.
 func (m *Mediator) Invalidate() {
 	m.mu.Lock()
-	m.gen = &generation{}
+	if m.demand {
+		m.dgen = newDemandGen()
+	} else {
+		m.gen = &generation{}
+	}
 	m.mu.Unlock()
+}
+
+// InvalidateRule drops from the demand cache every functor group
+// whose materialization could have involved the named rule (the rule
+// is in the group's slice, as construct or support). Cached groups
+// the rule cannot reach stay warm. On a full-materialization mediator
+// there is nothing finer-grained to drop, so it degrades to
+// Invalidate.
+func (m *Mediator) InvalidateRule(rule string) {
+	if !m.demand {
+		m.Invalidate()
+		return
+	}
+	m.mu.Lock()
+	g := m.dgen
+	m.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, f := range g.cachedFunctors(m.prog) {
+		if engine.ComputeSlice(m.prog, f).Includes(rule) {
+			g.dropFunctor(m.prog, f)
+		}
+	}
+}
+
+// InvalidateSource drops from the demand cache every functor group
+// whose materialization directly matched the given source input (as
+// recorded during its slice runs). On a full-materialization mediator
+// it degrades to Invalidate.
+func (m *Mediator) InvalidateSource(src tree.Name) {
+	if !m.demand {
+		m.Invalidate()
+		return
+	}
+	m.mu.Lock()
+	g := m.dgen
+	m.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := src.Key()
+	for _, f := range g.cachedFunctors(m.prog) {
+		sl := engine.ComputeSlice(m.prog, f)
+		depends := false
+		for _, r := range sl.Construct {
+			if g.ruleSources[r.Name][key] {
+				depends = true
+				break
+			}
+		}
+		if !depends {
+			for _, r := range sl.Support {
+				if g.ruleSources[r.Name][key] {
+					depends = true
+					break
+				}
+			}
+		}
+		if depends {
+			g.dropFunctor(m.prog, f)
+		}
+	}
+}
+
+// cachedFunctors lists the head functors with cached rules, in
+// declaration order. Slice runs cache whole groups, so "any rule
+// cached" and "all rules cached" coincide per functor.
+func (g *demandGen) cachedFunctors(prog *yatl.Program) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range prog.Rules {
+		if r.Exception || seen[r.Head.Functor] || !g.cached[r.Name] {
+			continue
+		}
+		seen[r.Head.Functor] = true
+		out = append(out, r.Head.Functor)
+	}
+	return out
+}
+
+// dropFunctor evicts every cached rule of the functor's group,
+// deleting its committed entries from the assembled store. Only names
+// minted by the group's rules carry its functor, so the eviction
+// cannot strand entries another cached group still answers from.
+func (g *demandGen) dropFunctor(prog *yatl.Program, f string) {
+	for _, r := range prog.Rules {
+		if r.Exception || r.Head.Functor != f || !g.cached[r.Name] {
+			continue
+		}
+		for _, e := range g.ruleEntries[r.Name] {
+			g.store.Delete(e.Name)
+		}
+		delete(g.ruleEntries, r.Name)
+		delete(g.cached, r.Name)
+	}
 }

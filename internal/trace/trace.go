@@ -49,6 +49,9 @@ const (
 	PhaseSkolem
 	// PhaseConstruct is phase 5: output tree construction.
 	PhaseConstruct
+	// PhaseSlice groups demand-driven events: slice computations and
+	// per-rule cache decisions of the mediator's query pushdown.
+	PhaseSlice
 
 	numPhases
 )
@@ -67,6 +70,8 @@ func (p Phase) String() string {
 		return "skolem"
 	case PhaseConstruct:
 		return "construct"
+	case PhaseSlice:
+		return "slice"
 	}
 	return fmt.Sprintf("phase(%d)", int(p))
 }
@@ -101,6 +106,17 @@ const (
 	KindSkolemDefined
 	// KindConstruct records the construction of one output tree.
 	KindConstruct
+	// KindSliceComputed records one demand-driven slice evaluation
+	// (engine.RunSlice); Count is the number of rules in the slice and
+	// Detail its rendering (requested functors, construct/support
+	// split).
+	KindSliceComputed
+	// KindCacheHit records a rule whose materialized outputs were
+	// served from the mediator's per-rule memo; Rule names it.
+	KindCacheHit
+	// KindCacheMiss records a rule that had to be (re)materialized
+	// for a query; Rule names it.
+	KindCacheMiss
 )
 
 func (k Kind) String() string {
@@ -123,6 +139,12 @@ func (k Kind) String() string {
 		return "skolem-defined"
 	case KindConstruct:
 		return "construct"
+	case KindSliceComputed:
+		return "slice"
+	case KindCacheHit:
+		return "cache-hit"
+	case KindCacheMiss:
+		return "cache-miss"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -188,6 +210,10 @@ type RuleProfile struct {
 	Drops map[string]int `json:"drops,omitempty"`
 	// Kept is the number of bindings surviving phases 2–3.
 	Kept int `json:"kept"`
+	// CacheHits and CacheMisses count the mediator's per-rule memo
+	// decisions for this rule (demand-driven queries only).
+	CacheHits   int `json:"cache_hits,omitempty"`
+	CacheMisses int `json:"cache_misses,omitempty"`
 }
 
 // Profile is a Sink that aggregates the event stream into a
@@ -202,6 +228,10 @@ type Profile struct {
 	roundPending []int
 	events       int
 	wall         time.Duration
+	// slices counts demand-driven slice evaluations; sliceRules sums
+	// the rules they ran.
+	slices     int
+	sliceRules int
 }
 
 // NewProfile returns an empty profile ready to attach to a run.
@@ -224,6 +254,10 @@ func (p *Profile) Emit(e Event) {
 	case KindRound:
 		p.rounds++
 		p.roundPending = append(p.roundPending, e.Count)
+		return
+	case KindSliceComputed:
+		p.slices++
+		p.sliceRules += e.Count
 		return
 	}
 	r := p.rule(e.Rule)
@@ -256,6 +290,12 @@ func (p *Profile) Emit(e Event) {
 	case KindConstruct:
 		r.Outputs += e.Count
 		ph.Items += e.Count
+	case KindCacheHit:
+		r.CacheHits++
+		ph.Items++
+	case KindCacheMiss:
+		r.CacheMisses++
+		ph.Items++
 	}
 }
 
@@ -281,6 +321,14 @@ func (p *Profile) Rounds() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.rounds
+}
+
+// Slices returns the number of demand-driven slice evaluations
+// observed (zero for plain runs).
+func (p *Profile) Slices() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.slices
 }
 
 // Events returns the total number of events received.
@@ -343,6 +391,7 @@ func (p *Profile) Render(w io.Writer, timing bool) error {
 	rules := p.Rules()
 	p.mu.Lock()
 	program, rounds, pending, wall := p.program, p.rounds, append([]int(nil), p.roundPending...), p.wall
+	slices, sliceRules := p.slices, p.sliceRules
 	p.mu.Unlock()
 
 	name := program
@@ -356,6 +405,9 @@ func (p *Profile) Render(w io.Writer, timing bool) error {
 		fmt.Fprintf(w, "rounds: %d %v  total: %v\n", rounds, pending, wall)
 	} else {
 		fmt.Fprintf(w, "rounds: %d %v\n", rounds, pending)
+	}
+	if slices > 0 {
+		fmt.Fprintf(w, "slices: %d rules=%d\n", slices, sliceRules)
 	}
 	for _, r := range rules {
 		fmt.Fprintf(w, "\nrule %s  fired=%d kept=%d skolems=%d outputs=%d\n",
@@ -376,6 +428,9 @@ func (p *Profile) Render(w io.Writer, timing bool) error {
 		}
 		if len(r.Drops) > 0 {
 			fmt.Fprintf(w, "  drops      %s\n", formatCounts(r.Drops))
+		}
+		if r.CacheHits > 0 || r.CacheMisses > 0 {
+			fmt.Fprintf(w, "  cache      hits=%d misses=%d\n", r.CacheHits, r.CacheMisses)
 		}
 	}
 	return nil
@@ -411,14 +466,16 @@ type jsonPhase struct {
 
 // jsonRule is the JSON shape of one rule block.
 type jsonRule struct {
-	Rule    string         `json:"rule"`
-	Fired   int            `json:"fired"`
-	Kept    int            `json:"kept"`
-	Skolems int            `json:"skolems"`
-	Outputs int            `json:"outputs"`
-	Phases  []jsonPhase    `json:"phases"`
-	Calls   map[string]int `json:"calls,omitempty"`
-	Drops   map[string]int `json:"drops,omitempty"`
+	Rule        string         `json:"rule"`
+	Fired       int            `json:"fired"`
+	Kept        int            `json:"kept"`
+	Skolems     int            `json:"skolems"`
+	Outputs     int            `json:"outputs"`
+	Phases      []jsonPhase    `json:"phases"`
+	Calls       map[string]int `json:"calls,omitempty"`
+	Drops       map[string]int `json:"drops,omitempty"`
+	CacheHits   int            `json:"cache_hits,omitempty"`
+	CacheMisses int            `json:"cache_misses,omitempty"`
 }
 
 // jsonProfile is the JSON shape of the whole profile.
@@ -428,6 +485,8 @@ type jsonProfile struct {
 	RoundPending []int      `json:"round_pending,omitempty"`
 	Events       int        `json:"events"`
 	WallNS       int64      `json:"wall_ns,omitempty"`
+	Slices       int        `json:"slices,omitempty"`
+	SliceRules   int        `json:"slice_rules,omitempty"`
 	Rules        []jsonRule `json:"rules"`
 }
 
@@ -442,6 +501,8 @@ func (p *Profile) JSON(timing bool) ([]byte, error) {
 		Rounds:       p.rounds,
 		RoundPending: append([]int(nil), p.roundPending...),
 		Events:       p.events,
+		Slices:       p.slices,
+		SliceRules:   p.sliceRules,
 	}
 	if timing {
 		doc.WallNS = p.wall.Nanoseconds()
@@ -456,6 +517,9 @@ func (p *Profile) JSON(timing bool) ([]byte, error) {
 			Outputs: r.Outputs,
 			Calls:   r.Calls,
 			Drops:   r.Drops,
+
+			CacheHits:   r.CacheHits,
+			CacheMisses: r.CacheMisses,
 		}
 		for _, ph := range dataPhases {
 			pp := r.Phases[ph]

@@ -203,6 +203,31 @@ func DealerDatabase(brochures []Brochure, pool []Supplier, seed uint64) *relatio
 	return db
 }
 
+// SelectiveProgram builds a k-rule YATL program over the brochure
+// source in which every rule mints an independent Skolem functor
+// (Pview1..Pviewk) and no rule feeds another. A query for one view
+// slices to exactly one rule, so the program is the worst case for
+// full materialization and the best case for demand-driven asks —
+// the shape of a mediator serving many narrow client views.
+func SelectiveProgram(k int) string {
+	var sb strings.Builder
+	sb.WriteString("program selective\n")
+	for i := 1; i <= k; i++ {
+		fmt.Fprintf(&sb, `
+rule View%d {
+  head Pview%d(SN) = view < -> name -> SN, -> city -> C, -> zip -> Z >
+  from Pbr = brochure < -> number -> Num, -> title -> T,
+                        -> model -> Year, -> desc -> D,
+                        -> spplrs -*> supplier < -> name -> SN,
+                                                 -> address -> Add > >
+  let C = city(Add)
+  let Z = zip(Add)
+}
+`, i, i)
+	}
+	return sb.String()
+}
+
 // MatrixTree builds an r×c matrix tree (rows r1..rn, columns c1..cm,
 // deterministic integer cells) for the Figure 4 transpose benchmark.
 func MatrixTree(rows, cols int) *tree.Node {

@@ -32,11 +32,18 @@
 //
 //	prog, _ := yat.ParseProgram(yat.Rules1And2)
 //	inputs, _ := yat.ImportSGML(map[string]string{"b1": doc}, nil)
-//	result, _ := yat.Run(prog, inputs, nil)
+//	result, _ := yat.Run(prog, inputs, yat.WithParallelism(8))
 //	fmt.Print(yat.FormatStore(result.Outputs))
+//
+// Demand-driven querying:
+//
+//	med := yat.NewMediator(prog, inputs, yat.WithDemandDriven(true))
+//	answers, _ := med.Ask("class -> supplier < -> name -> N, -> city -> C, -> zip -> Z >", "Psup")
 package yat
 
 import (
+	"context"
+
 	"yat/internal/analysis"
 	"yat/internal/compose"
 	"yat/internal/engine"
@@ -73,8 +80,13 @@ type (
 	// Rule is one YATL rule.
 	Rule = yatl.Rule
 
-	// RunOptions configures program execution.
+	// RunOptions configures program execution. Prefer building
+	// configurations from the With* options; a *RunOptions literal
+	// still works anywhere an Option is accepted.
 	RunOptions = engine.Options
+	// Option is one functional configuration item for Run, RunContext,
+	// RunSlice and NewMediator.
+	Option = engine.Option
 	// Result is the outcome of a run.
 	Result = engine.Result
 	// Registry holds external functions and predicates.
@@ -129,11 +141,84 @@ const (
 	TransposeRule = "program transpose\n" + yatl.Rule5Source
 )
 
-// Run executes a program over an input store (nil options for
-// defaults).
-func Run(prog *Program, inputs *Store, opts *RunOptions) (*Result, error) {
-	return engine.Run(prog, inputs, opts)
+// Functional options for Run, RunContext, RunSlice and NewMediator.
+// Later options win; nil options and `Run(prog, inputs, nil)` apply
+// the defaults.
+var (
+	// WithRegistry supplies the external function/predicate registry.
+	WithRegistry = engine.WithRegistry
+	// WithModel merges an extra model environment into domain checks.
+	WithModel = engine.WithModel
+	// WithParallelism sets the worker count (results are byte-identical
+	// at every setting).
+	WithParallelism = engine.WithParallelism
+	// WithTrace attaches a trace sink (nil disables at zero cost).
+	WithTrace = engine.WithTrace
+	// WithMaxRounds bounds the activation fixpoint.
+	WithMaxRounds = engine.WithMaxRounds
+	// WithNonDetWarn downgrades run-time non-determinism to a warning.
+	WithNonDetWarn = engine.WithNonDetWarn
+	// WithCheckOutputs enables the run-time output type checker.
+	WithCheckOutputs = engine.WithCheckOutputs
+	// WithDisableSafety skips the §3.4 static cycle check.
+	WithDisableSafety = engine.WithDisableSafety
+	// WithDemandDriven switches NewMediator to demand-driven
+	// evaluation: queries materialize only the rule slices they need,
+	// memoized per rule with fine-grained invalidation.
+	WithDemandDriven = mediator.WithDemandDriven
+)
+
+// Run executes a program over an input store.
+func Run(prog *Program, inputs *Store, opts ...Option) (*Result, error) {
+	return engine.Run(prog, inputs, opts...)
 }
+
+// RunContext is Run under a cancellation context: the run aborts with
+// the context's error at the next phase boundary after expiry.
+func RunContext(ctx context.Context, prog *Program, inputs *Store, opts ...Option) (*Result, error) {
+	return engine.RunContext(ctx, prog, inputs, opts...)
+}
+
+// Demand-driven evaluation (the engine half of mediator query
+// pushdown): a Slice is the dependency-closed set of rules needed to
+// materialize some Skolem functors, and RunSlice executes only that
+// slice with full-run fidelity.
+type (
+	// Slice is a dependency-closed rule slice (engine.ComputeSlice).
+	Slice = engine.Slice
+	// SliceResult is the outcome of a slice-restricted run, with
+	// per-rule outputs and per-rule matched sources.
+	SliceResult = engine.SliceResult
+)
+
+var (
+	// ComputeSlice computes the rule slice for a set of functors.
+	ComputeSlice = engine.ComputeSlice
+	// RunSlice executes a slice; its construct rules' outputs are
+	// byte-identical to a full run's at every Parallelism setting.
+	RunSlice = engine.RunSlice
+)
+
+// Typed errors, matchable with errors.As across the facade:
+//
+//	var se *yat.SafetyError
+//	if errors.As(err, &se) { ... se.Violations ... }
+type (
+	// ErrUnconverted reports §3.5 exception-rule failures: source
+	// inputs no rule converted.
+	ErrUnconverted = engine.ErrUnconverted
+	// SafetyError reports §3.4 safety violations (dereferenced Skolem
+	// cycles that are not safe-recursive).
+	SafetyError = engine.SafetyError
+	// NonDetError reports run-time non-determinism (one identity, two
+	// distinct values) when NonDetWarn is off.
+	NonDetError = engine.NonDetError
+	// FixpointError reports an activation fixpoint that did not
+	// converge within MaxRounds.
+	FixpointError = engine.FixpointError
+	// ParseError is a positioned YATL syntax error.
+	ParseError = yatl.ParseError
+)
 
 // NewRegistry returns the built-in external functions (city, zip,
 // sameaddress, data_to_string, ...); register more with
@@ -253,9 +338,11 @@ type MediatorAnswer = mediator.Answer
 // and cumulative Ask latency for a mediator.
 type MediatorStats = mediator.Stats
 
-// NewMediator wraps a program and its sources for querying.
-func NewMediator(prog *Program, inputs *Store, opts *RunOptions) *Mediator {
-	return mediator.New(prog, inputs, opts)
+// NewMediator wraps a program and its sources for querying. Pass
+// WithDemandDriven(true) for per-query slice evaluation with per-rule
+// caching; other options configure the underlying engine runs.
+func NewMediator(prog *Program, inputs *Store, opts ...Option) *Mediator {
+	return mediator.New(prog, inputs, opts...)
 }
 
 // Observability (the internal/trace layer). Attach a sink through
