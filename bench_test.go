@@ -11,7 +11,9 @@ import (
 
 	"yat/internal/compose"
 	"yat/internal/engine"
+	"yat/internal/mediator"
 	"yat/internal/pattern"
+	"yat/internal/source"
 	"yat/internal/tree"
 	"yat/internal/workload"
 	"yat/internal/yatl"
@@ -598,4 +600,45 @@ func BenchmarkSelectiveAsk(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSourcedAsk measures the fault-tolerant source layer's cost
+// on the ask path: the brochure store federated across k sources,
+// served through the full decorator chain, cold ask per iteration
+// (Invalidate forces the refetch). "direct" is the no-source-layer
+// baseline on the same merged store.
+func BenchmarkSourcedAsk(b *testing.B) {
+	prog := mustProg(b, yatl.SGMLToODMGSource)
+	store := workload.BrochureStore(64, 2, 16, 42)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := mediator.New(prog, store)
+			if _, err := m.Ask(`X`, "Psup"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, k := range []int{1, 4} {
+		parts := workload.SplitStore(store, k)
+		b.Run(fmt.Sprintf("sources-%d", k), func(b *testing.B) {
+			clock := source.NewFakeClock()
+			srcs := make([]source.Source, k)
+			for j, p := range parts {
+				srcs[j] = source.WithCache(
+					source.WithBreaker(
+						source.WithRetry(source.Static(fmt.Sprintf("s%d", j), p),
+							source.RetryOptions{Clock: clock}),
+						source.BreakerOptions{Clock: clock}),
+					source.CacheOptions{Clock: clock})
+			}
+			m := mediator.New(prog, nil, mediator.WithSources(srcs...))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Ask(`X`, "Psup"); err != nil {
+					b.Fatal(err)
+				}
+				m.Invalidate()
+			}
+		})
+	}
 }

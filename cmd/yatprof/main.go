@@ -24,6 +24,12 @@
 //	-demand       answer -ask demand-driven: materialize only the rule
 //	              slice the functors need (the profile then shows the
 //	              slice and per-rule cache decisions)
+//	-fault        with -ask: serve the input store through the
+//	              fault-tolerant source layer with N scripted failures
+//	              before it heals; the query degrades through retries
+//	              and the profile gains the per-source fetch/retry
+//	              lines (the schedule runs on a fake clock — no real
+//	              backoff sleeps)
 package main
 
 import (
@@ -56,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		askFlag     = fs.String("ask", "", "profile a mediator query (YATL pattern) instead of a run")
 		funcFlag    = fs.String("functors", "", "comma-separated Skolem functors restricting -ask")
 		demandFlag  = fs.Bool("demand", false, "answer -ask demand-driven (slice + per-rule cache)")
+		faultFlag   = fs.Int("fault", 0, "with -ask: inject N scripted source failures before the input store serves")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,11 +86,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	profile := yat.NewTraceProfile()
 	var warnings []string
+	if *faultFlag > 0 && *askFlag == "" {
+		fmt.Fprintln(stderr, "yatprof: -fault requires -ask (it exercises the mediator's source layer)")
+		return 2
+	}
 	if *askFlag != "" {
-		med := yat.NewMediator(prog, inputs,
+		opts := []yat.Option{
 			yat.WithTrace(profile),
 			yat.WithParallelism(*parFlag),
-			yat.WithDemandDriven(*demandFlag))
+			yat.WithDemandDriven(*demandFlag),
+		}
+		if *faultFlag > 0 {
+			// Serve the store through the fault layer: N scripted
+			// failures, then healthy, retried on a fake clock so the
+			// exponential backoff costs no wall time.
+			clock := yat.NewFakeSourceClock()
+			steps := make([]yat.FaultStep, *faultFlag)
+			for i := range steps {
+				steps[i] = yat.FaultStep{Fail: fmt.Errorf("injected fault %d", i+1)}
+			}
+			fault := yat.NewFaultSource("input", inputs, steps...).WithClock(clock)
+			src := yat.SourceWithRetry(fault, yat.RetryOptions{
+				MaxAttempts: *faultFlag + 1,
+				Clock:       clock,
+			})
+			opts = append(opts, yat.WithSources(src))
+			inputs = nil
+		}
+		med := yat.NewMediator(prog, inputs, opts...)
 		var functors []string
 		for _, f := range strings.Split(*funcFlag, ",") {
 			if f = strings.TrimSpace(f); f != "" {

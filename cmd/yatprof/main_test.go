@@ -109,3 +109,41 @@ func TestBadUsage(t *testing.T) {
 		t.Errorf("unknown program: exit %d, want 1 (stderr %s)", code, errOut)
 	}
 }
+
+// -fault serves the store through the source layer with a scripted
+// failure schedule: the answers match the healthy run and the profile
+// gains the source fetch/retry lines.
+func TestFaultFlag(t *testing.T) {
+	input := brochureFile(t)
+	_, healthy, _ := runProf(t, "-program", "sgml2odmg", "-input", input,
+		"-ask", "X", "-functors", "Psup")
+	code, out, errOut := runProf(t, "-program", "sgml2odmg", "-input", input,
+		"-ask", "X", "-functors", "Psup", "-fault", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	wantAnswers := ""
+	for _, line := range strings.Split(healthy, "\n") {
+		if strings.HasPrefix(line, "answers:") {
+			wantAnswers = line
+		}
+	}
+	if wantAnswers == "" || !strings.Contains(out, wantAnswers) {
+		t.Errorf("faulted answers differ from healthy (%q):\n%s", wantAnswers, out)
+	}
+	// Both injected faults were absorbed by retries, so the mediator's
+	// fetch itself succeeded: failures=0 but retries=2.
+	for _, want := range []string{"source input  fetches=1 failures=0 retries=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultRequiresAsk(t *testing.T) {
+	input := brochureFile(t)
+	code, _, errOut := runProf(t, "-program", "sgml2odmg", "-input", input, "-fault", "1")
+	if code != 2 || !strings.Contains(errOut, "-ask") {
+		t.Fatalf("exit %d, stderr: %s; want usage error mentioning -ask", code, errOut)
+	}
+}

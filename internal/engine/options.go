@@ -38,6 +38,15 @@ func (o *Options) Apply(dst *Options) {
 	*dst = *o
 }
 
+// mediatorOnly is implemented by options that configure a layer above
+// the engine (the mediator's WithDemandDriven and WithSources). Their
+// Apply writes nothing, so a plain engine run receiving one would
+// silently ignore it; NewOptions records the name instead, and the run
+// surfaces it in Result.Warnings so the misconfiguration is visible.
+type mediatorOnly interface {
+	MediatorOnly() string
+}
+
 // NewOptions folds a list of options into a fresh configuration.
 // Nil options are skipped, later options win.
 func NewOptions(opts ...Option) *Options {
@@ -45,6 +54,9 @@ func NewOptions(opts ...Option) *Options {
 	for _, opt := range opts {
 		if opt == nil {
 			continue
+		}
+		if mo, ok := opt.(mediatorOnly); ok {
+			o.ignored = append(o.ignored, mo.MediatorOnly())
 		}
 		opt.Apply(o)
 	}

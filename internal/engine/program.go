@@ -51,6 +51,9 @@ type Options struct {
 	// Deprecated: pass the context first-class through RunContext (or
 	// WithContext); it overrides this field.
 	Context context.Context
+	// ignored lists the names of mediator-only options handed to this
+	// run (collected by NewOptions); the run reports them as warnings.
+	ignored []string
 	// Trace receives typed events for every phase of the run (see
 	// internal/trace): matching attempts, external calls with
 	// durations, dropped bindings with reasons, Skolem definitions,
@@ -188,6 +191,11 @@ func execute(prog *yatl.Program, inputs *tree.Store, opts *Options, sl *Slice) (
 		hier:      buildHierarchy(prog, model),
 		seenIDs:   map[string]bool{},
 		ruleState: map[string]*ruleState{},
+	}
+	// Mediator-only options do nothing on a plain engine run; warn so
+	// the misconfiguration is visible instead of silently absorbed.
+	for _, name := range opts.ignored {
+		r.warn(fmt.Sprintf("option %s configures a mediator, not an engine run; it was ignored (use mediator.New)", name))
 	}
 	var runStart time.Time
 	if r.sink != nil {

@@ -31,12 +31,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"yat/internal/engine"
 	"yat/internal/pattern"
+	"yat/internal/source"
 	"yat/internal/trace"
 	"yat/internal/tree"
 	"yat/internal/yatl"
@@ -56,6 +58,52 @@ type demandOption bool
 // not the engine, so it writes nothing.
 func (demandOption) Apply(*engine.Options) {}
 
+// MediatorOnly marks the option as foreign to the engine, so a plain
+// engine.Run that receives it can warn instead of silently ignoring
+// it.
+func (demandOption) MediatorOnly() string { return "WithDemandDriven" }
+
+// WithSources replaces the mediator's pre-materialized input store
+// with live sources: on (re)materialization the mediator fetches every
+// source concurrently and merges the snapshots, in declaration order,
+// into the engine's input store. A failed source degrades the answer
+// instead of failing it — its data is simply absent, its error
+// surfaces in Stats.Sources and as a source-fetch trace event — unless
+// every source fails, which fails the query with a FetchError.
+//
+// Like WithDemandDriven it is an engine.Option only so it can travel
+// in the same option list; passed to a plain engine.Run it is reported
+// in Result.Warnings.
+func WithSources(srcs ...source.Source) engine.Option { return sourcesOption(srcs) }
+
+type sourcesOption []source.Source
+
+// Apply implements engine.Option (the option configures the mediator).
+func (sourcesOption) Apply(*engine.Options) {}
+
+// MediatorOnly marks the option as foreign to the engine.
+func (sourcesOption) MediatorOnly() string { return "WithSources" }
+
+// FetchError reports that a materialization could not proceed because
+// every configured source failed to fetch. Per-source errors are
+// keyed by source name.
+type FetchError struct {
+	Errs map[string]error
+}
+
+func (e *FetchError) Error() string {
+	names := make([]string, 0, len(e.Errs))
+	for n := range e.Errs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s: %v", n, e.Errs[n])
+	}
+	return "mediator: all sources failed: " + strings.Join(parts, "; ")
+}
+
 // generation is one materialization lifetime: Invalidate swaps in a
 // fresh generation, so a query racing an invalidation keeps a
 // consistent view instead of observing a half-cleared cache.
@@ -66,9 +114,15 @@ type generation struct {
 	err    error
 }
 
-func (g *generation) materialize(ctx context.Context, prog *yatl.Program, inputs *tree.Store, opts *engine.Options) (*engine.Result, error) {
+func (g *generation) materialize(ctx context.Context, m *Mediator) (*engine.Result, error) {
 	g.once.Do(func() {
-		g.result, g.err = engine.RunContext(ctx, prog, inputs, opts)
+		inputs, err := m.fetchInputs(ctx)
+		if err != nil {
+			g.err = err
+			g.done.Store(true)
+			return
+		}
+		g.result, g.err = engine.RunContext(ctx, m.prog, inputs, m.opts)
 		g.done.Store(true)
 	})
 	return g.result, g.err
@@ -103,6 +157,12 @@ type demandGen struct {
 	// success. Unlike the full-mode generation, a failed slice run is
 	// not memoized: the next query retries.
 	lastErr error
+	// degraded names the sources that were failing during some cached
+	// slice run: rules cached then may silently miss that source's
+	// data, so a recovery of the source invalidates the whole
+	// generation (no finer dependency record exists — an absent source
+	// matched nothing).
+	degraded map[string]bool
 }
 
 func newDemandGen() *demandGen {
@@ -111,6 +171,7 @@ func newDemandGen() *demandGen {
 		cached:      map[string]bool{},
 		ruleEntries: map[string][]tree.StoreEntry{},
 		ruleSources: map[string]map[string]bool{},
+		degraded:    map[string]bool{},
 	}
 }
 
@@ -120,6 +181,16 @@ type Mediator struct {
 	inputs *tree.Store
 	opts   *engine.Options
 	demand bool
+
+	// sources is the fault-tolerant source layer (WithSources); when
+	// non-empty, materializations fetch and merge these instead of
+	// consuming inputs alone. srcMu guards the per-source bookkeeping
+	// below: the entries each source contributed to the most recent
+	// merge and its most recent fetch error (nil when healthy).
+	sources    []source.Source
+	srcMu      sync.Mutex
+	srcEntries map[string][]tree.Name
+	srcErrs    map[string]error
 
 	mu  sync.Mutex // guards gen, dgen and lastGood
 	gen *generation
@@ -146,17 +217,106 @@ func New(prog *yatl.Program, inputs *tree.Store, opts ...engine.Option) *Mediato
 	m := &Mediator{prog: prog, inputs: inputs, gen: &generation{}}
 	var eng []engine.Option
 	for _, o := range opts {
-		if d, ok := o.(demandOption); ok {
-			m.demand = bool(d)
-			continue
+		switch o := o.(type) {
+		case demandOption:
+			m.demand = bool(o)
+		case sourcesOption:
+			m.sources = append(m.sources, o...)
+		default:
+			eng = append(eng, o)
 		}
-		eng = append(eng, o)
 	}
 	m.opts = engine.NewOptions(eng...)
 	if m.demand {
 		m.dgen = newDemandGen()
 	}
+	if len(m.sources) > 0 {
+		m.srcEntries = map[string][]tree.Name{}
+		m.srcErrs = map[string]error{}
+	}
 	return m
+}
+
+// fetchInputs assembles the engine's input store. Without sources it
+// is the constructor's store; with sources, every source is fetched
+// concurrently and the snapshots are merged in declaration order
+// (after the constructor's store, later sources winning name
+// collisions), so the merged store — and therefore every downstream
+// result — is deterministic regardless of fetch completion order. A
+// failing source contributes nothing (degradation); only all sources
+// failing is an error.
+func (m *Mediator) fetchInputs(ctx context.Context) (*tree.Store, error) {
+	if len(m.sources) == 0 {
+		return m.inputs, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sink := m.opts.Trace
+	if sink != nil {
+		ctx = source.WithSink(ctx, sink)
+	}
+	type fetchResult struct {
+		store *tree.Store
+		err   error
+		dur   time.Duration
+	}
+	results := make([]fetchResult, len(m.sources))
+	var wg sync.WaitGroup
+	for i, s := range m.sources {
+		wg.Add(1)
+		go func(i int, s source.Source) {
+			defer wg.Done()
+			var start time.Time
+			if sink != nil {
+				start = time.Now()
+			}
+			st, err := s.Fetch(ctx)
+			res := fetchResult{store: st, err: err}
+			if sink != nil {
+				res.dur = time.Since(start)
+			}
+			results[i] = res
+		}(i, s)
+	}
+	wg.Wait()
+
+	merged := tree.NewStore()
+	if m.inputs != nil {
+		for _, e := range m.inputs.Entries() {
+			merged.Put(e.Name, e.Tree)
+		}
+	}
+	failed := map[string]error{}
+	m.srcMu.Lock()
+	for i, s := range m.sources {
+		r := results[i]
+		if sink != nil {
+			ok := 1
+			if r.err != nil {
+				ok = 0
+			}
+			sink.Emit(trace.Event{Kind: trace.KindSourceFetch, Phase: trace.PhaseSource,
+				Detail: s.Name(), Count: ok, Duration: r.dur})
+		}
+		if r.err != nil {
+			failed[s.Name()] = r.err
+			m.srcErrs[s.Name()] = r.err
+			continue
+		}
+		m.srcErrs[s.Name()] = nil
+		names := make([]tree.Name, 0, r.store.Len())
+		for _, e := range r.store.Entries() {
+			merged.Put(e.Name, e.Tree)
+			names = append(names, e.Name)
+		}
+		m.srcEntries[s.Name()] = names
+	}
+	m.srcMu.Unlock()
+	if len(failed) == len(m.sources) {
+		return nil, &FetchError{Errs: failed}
+	}
+	return merged, nil
 }
 
 // materialize runs the conversion once per generation; concurrent
@@ -168,7 +328,7 @@ func (m *Mediator) materialize(ctx context.Context) (*engine.Result, bool, error
 	g := m.gen
 	m.mu.Unlock()
 	warm := g.done.Load()
-	res, err := g.materialize(ctx, m.prog, m.inputs, m.opts)
+	res, err := g.materialize(ctx, m)
 	if err == nil && !warm {
 		m.mu.Lock()
 		// Only credit the generation still current: a stale run
@@ -202,11 +362,17 @@ func (m *Mediator) Ask(patternSrc string, functors ...string) ([]Answer, error) 
 // AskContext is Ask with a cancellation context applied to any engine
 // run the query triggers.
 func (m *Mediator) AskContext(ctx context.Context, patternSrc string, functors ...string) ([]Answer, error) {
+	start := time.Now()
+	m.asks.Add(1)
 	pt, err := yatl.ParsePattern(patternSrc)
 	if err != nil {
+		// A parse failure is still an ask (Asks and AskTime cover it)
+		// but it never consulted the cache, so it is neither a hit nor
+		// a miss: Asks == CacheHits + CacheMisses + parse failures.
+		m.askNanos.Add(time.Since(start).Nanoseconds())
 		return nil, fmt.Errorf("mediator: %w", err)
 	}
-	return m.AskPatternContext(ctx, pt, functors...)
+	return m.askPattern(ctx, start, pt, functors)
 }
 
 // AskPattern is Ask over a parsed pattern.
@@ -217,20 +383,31 @@ func (m *Mediator) AskPattern(pt *pattern.PTree, functors ...string) ([]Answer, 
 // AskPatternContext is AskPattern with a cancellation context applied
 // to any engine run the query triggers.
 func (m *Mediator) AskPatternContext(ctx context.Context, pt *pattern.PTree, functors ...string) ([]Answer, error) {
-	start := time.Now()
-	defer func() { m.askNanos.Add(time.Since(start).Nanoseconds()) }()
 	m.asks.Add(1)
+	return m.askPattern(ctx, time.Now(), pt, functors)
+}
+
+// askPattern is the shared ask core; the caller has already counted
+// the ask and taken the start timestamp. Counter discipline, pinned by
+// TestAskCounterConsistency: every return path adds the elapsed time
+// to AskTime, and exactly one of CacheHits/CacheMisses is incremented
+// — a hit only when the answer came entirely from an already-successful
+// materialization, a miss whenever engine work ran or was awaited,
+// errors included.
+func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.PTree, functors []string) ([]Answer, error) {
+	defer func() { m.askNanos.Add(time.Since(start).Nanoseconds()) }()
 	var entries []tree.StoreEntry
 	var matcher *engine.Matcher
 	if m.demand {
 		es, hit, err := m.ensureDemand(ctx, functors)
+		if err != nil {
+			m.cacheMiss.Add(1)
+			return nil, err
+		}
 		if hit {
 			m.cacheHits.Add(1)
 		} else {
 			m.cacheMiss.Add(1)
-		}
-		if err != nil {
-			return nil, err
 		}
 		entries = es
 		// The demand store may gain entries concurrently; with no
@@ -239,13 +416,16 @@ func (m *Mediator) AskPatternContext(ctx context.Context, pt *pattern.PTree, fun
 		matcher = &engine.Matcher{}
 	} else {
 		res, warm, err := m.materialize(ctx)
+		if err != nil {
+			// A memoized failure is still a miss on every ask: nothing
+			// usable was served from cache.
+			m.cacheMiss.Add(1)
+			return nil, err
+		}
 		if warm {
 			m.cacheHits.Add(1)
 		} else {
 			m.cacheMiss.Add(1)
-		}
-		if err != nil {
-			return nil, err
 		}
 		want := map[string]bool{}
 		for _, f := range functors {
@@ -316,13 +496,28 @@ func (m *Mediator) ensureDemand(ctx context.Context, functors []string) ([]tree.
 				fs = append(fs, r.Head.Functor)
 			}
 		}
+		inputs, err := m.fetchInputs(ctx)
+		if err != nil {
+			g.lastErr = err
+			return nil, false, err
+		}
 		sub := engine.ComputeSlice(m.prog, fs...)
-		res, err := engine.RunSlice(ctx, m.prog, m.inputs, sub, m.opts)
+		res, err := engine.RunSlice(ctx, m.prog, inputs, sub, m.opts)
 		if err != nil {
 			g.lastErr = err
 			return nil, false, err
 		}
 		g.lastErr = nil
+		// Rules cached from a degraded fetch silently lack the failed
+		// sources' data; remember which, so RefreshSource can drop the
+		// generation when such a source comes back.
+		m.srcMu.Lock()
+		for name, ferr := range m.srcErrs {
+			if ferr != nil {
+				g.degraded[name] = true
+			}
+		}
+		m.srcMu.Unlock()
 		g.runs++
 		g.stats.Activations += res.Stats.Activations
 		g.stats.Bindings += res.Stats.Bindings
@@ -452,6 +647,42 @@ type Stats struct {
 	// SliceRuns counts engine slice executions performed; an Ask that
 	// increments CacheHits performed none.
 	SliceRuns int64
+	// Sources reports per-source health for a mediator consuming
+	// fault-tolerant sources (WithSources), in declaration order;
+	// empty otherwise.
+	Sources []SourceStatus
+}
+
+// SourceStatus is one source's health as the mediator sees it: the
+// source chain's own counters (attempts, retries, breaker state,
+// staleness) plus the outcome of the mediator's most recent fetch.
+type SourceStatus struct {
+	source.Stats
+	// FetchErr is the error of the mediator's most recent fetch of
+	// this source, "" when it succeeded (or never ran).
+	FetchErr string
+	// Entries is the number of store entries the source contributed to
+	// the most recent successful merge.
+	Entries int
+}
+
+// sourceStatuses snapshots every source's health, in declaration
+// order.
+func (m *Mediator) sourceStatuses() []SourceStatus {
+	if len(m.sources) == 0 {
+		return nil
+	}
+	out := make([]SourceStatus, len(m.sources))
+	m.srcMu.Lock()
+	defer m.srcMu.Unlock()
+	for i, s := range m.sources {
+		st := SourceStatus{Stats: source.StatsOf(s), Entries: len(m.srcEntries[s.Name()])}
+		if err := m.srcErrs[s.Name()]; err != nil {
+			st.FetchErr = err.Error()
+		}
+		out[i] = st
+	}
+	return out
 }
 
 // Stats exposes the mediator's statistics. It never triggers a
@@ -479,6 +710,7 @@ func (m *Mediator) Stats() Stats {
 	s.CacheHits = m.cacheHits.Load()
 	s.CacheMisses = m.cacheMiss.Load()
 	s.AskTime = time.Duration(m.askNanos.Load())
+	s.Sources = m.sourceStatuses()
 	return s
 }
 
@@ -510,6 +742,7 @@ func (m *Mediator) demandStats() Stats {
 	s.CacheHits = m.cacheHits.Load()
 	s.CacheMisses = m.cacheMiss.Load()
 	s.AskTime = time.Duration(m.askNanos.Load())
+	s.Sources = m.sourceStatuses()
 	return s
 }
 
@@ -585,6 +818,63 @@ func (m *Mediator) InvalidateSource(src tree.Name) {
 			g.dropFunctor(m.prog, f)
 		}
 	}
+}
+
+// RefreshSource re-fetches the named source and invalidates exactly
+// the cached state that could have depended on it. When the source
+// carries a stale-while-revalidate cache the refresh is forced through
+// it (a failing refresh keeps the old snapshot and returns the error
+// without invalidating anything — the served data did not change). On
+// a demand-driven mediator only the functor groups whose slice runs
+// matched one of the source's entries are dropped, via
+// InvalidateSource; a full-materialization mediator reconverts
+// wholesale. If the source had been failing while rules were cached,
+// the whole demand cache is dropped: those rules were built without
+// the source's data and no finer dependency record exists for inputs
+// that were never there.
+func (m *Mediator) RefreshSource(ctx context.Context, name string) error {
+	var src source.Source
+	for _, s := range m.sources {
+		if s.Name() == name {
+			src = s
+			break
+		}
+	}
+	if src == nil {
+		return fmt.Errorf("mediator: no source named %q", name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if m.opts.Trace != nil {
+		ctx = source.WithSink(ctx, m.opts.Trace)
+	}
+	if r, ok := src.(interface{ Refresh(context.Context) error }); ok {
+		if err := r.Refresh(ctx); err != nil {
+			return fmt.Errorf("mediator: refreshing source %s: %w", name, err)
+		}
+	}
+	if !m.demand {
+		m.Invalidate()
+		return nil
+	}
+	m.mu.Lock()
+	g := m.dgen
+	m.mu.Unlock()
+	g.mu.Lock()
+	wasDegraded := g.degraded[name]
+	g.mu.Unlock()
+	if wasDegraded {
+		m.Invalidate()
+		return nil
+	}
+	m.srcMu.Lock()
+	entries := append([]tree.Name(nil), m.srcEntries[name]...)
+	m.srcMu.Unlock()
+	for _, n := range entries {
+		m.InvalidateSource(n)
+	}
+	return nil
 }
 
 // cachedFunctors lists the head functors with cached rules, in

@@ -1,0 +1,100 @@
+package source
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"yat/internal/tree"
+)
+
+// Step is one scripted fetch outcome of a Fault source.
+type Step struct {
+	// Fail, when non-nil, is the error this fetch returns.
+	Fail error
+	// Latency is waited (on the fault's clock, cancellable by the
+	// fetch context) before the outcome is produced.
+	Latency time.Duration
+}
+
+// Fault is a scripted source for tests and benchmarks: it serves a
+// fixed store through a schedule of error/latency steps, consumed one
+// per fetch. Past the end of the script every fetch is healthy —
+// unless Loop is set, which replays the script forever. SetErr
+// overrides the script dynamically, which is how flap tests toggle a
+// source between failing and healthy under load.
+type Fault struct {
+	name  string
+	store *tree.Store
+	steps []Step
+	loop  bool
+	clock Clock
+
+	mu     sync.Mutex
+	calls  int64
+	forced error
+}
+
+// NewFault returns a scripted source over the store.
+func NewFault(name string, store *tree.Store, steps ...Step) *Fault {
+	return &Fault{name: name, store: store, steps: steps, clock: RealClock}
+}
+
+// Loop makes the script replay forever instead of running out.
+func (f *Fault) Loop(on bool) *Fault {
+	f.loop = on
+	return f
+}
+
+// WithClock injects the clock the latency steps wait on.
+func (f *Fault) WithClock(c Clock) *Fault {
+	f.clock = c
+	return f
+}
+
+// SetErr forces every subsequent fetch to fail with err until cleared
+// with SetErr(nil). The override takes precedence over the script.
+func (f *Fault) SetErr(err error) {
+	f.mu.Lock()
+	f.forced = err
+	f.mu.Unlock()
+}
+
+// Calls reports how many fetches the source has served.
+func (f *Fault) Calls() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *Fault) Name() string { return f.name }
+
+func (f *Fault) Fetch(ctx context.Context) (*tree.Store, error) {
+	f.mu.Lock()
+	var step Step
+	switch {
+	case f.forced != nil:
+		step = Step{Fail: f.forced}
+	case int(f.calls) < len(f.steps):
+		step = f.steps[f.calls]
+	case f.loop && len(f.steps) > 0:
+		step = f.steps[f.calls%int64(len(f.steps))]
+	}
+	f.calls++
+	f.mu.Unlock()
+
+	if step.Latency > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-f.clock.After(step.Latency):
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if step.Fail != nil {
+		return nil, step.Fail
+	}
+	return f.store, nil
+}

@@ -1,0 +1,158 @@
+// Package source is the fault-tolerant source layer of the mediator
+// architecture (Figure 6, §5): a production mediator talks to live
+// wrappers that are slow, flaky, or down, so the mediator consumes its
+// inputs through the Source interface — a named producer of tree
+// snapshots — instead of a pre-materialized store.
+//
+// Robustness is composed from small decorators, each wrapping an inner
+// Source:
+//
+//	WithTimeout  bounds one fetch with a per-call deadline
+//	WithRetry    retries with exponential backoff and jitter
+//	WithBreaker  trips a circuit breaker after consecutive failures,
+//	             with half-open probing after a cooldown
+//	WithCache    serves the last good snapshot stale-while-revalidate
+//
+// The conventional chain, outermost first, is
+//
+//	WithCache(WithBreaker(WithRetry(WithTimeout(src, d), rOpts), bOpts), cOpts)
+//
+// so the cache absorbs breaker rejections by serving stale data, the
+// breaker counts retried (final) outcomes, and each retry attempt gets
+// its own timeout. Every decorator takes an injectable Clock (and the
+// retry decorator an injectable jitter source), so timing behaviour is
+// testable without real sleeps; see FakeClock.
+//
+// Decorators report what happened through two channels: counters,
+// exposed as a Stats snapshot via the Statser interface and merged
+// along the chain, and trace events (source-retry, breaker-open,
+// stale-served) emitted to a trace.Sink carried by the fetch context
+// (WithSink) so the mediator's EXPLAIN profile sees them.
+package source
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"yat/internal/trace"
+	"yat/internal/tree"
+)
+
+// Source produces one wrapper's snapshot of YAT trees. Fetch may be
+// called concurrently and must honor ctx cancellation; the returned
+// store is treated as immutable by callers.
+type Source interface {
+	// Name identifies the source stably across fetches (stats, trace
+	// events and invalidation are keyed by it).
+	Name() string
+	// Fetch produces the source's current snapshot.
+	Fetch(ctx context.Context) (*tree.Store, error)
+}
+
+// Stats is a point-in-time snapshot of one source chain's counters.
+// Each decorator fills in its own fields and passes the rest through,
+// so the snapshot of the outermost decorator describes the whole
+// chain.
+type Stats struct {
+	// Name is the source's stable name.
+	Name string
+	// Attempts counts fetches attempted against the decorated source
+	// (including retries); Failures counts the attempts that errored.
+	Attempts, Failures int64
+	// Retries counts re-attempts after a failed fetch.
+	Retries int64
+	// Timeouts counts attempts that exceeded the per-fetch deadline.
+	Timeouts int64
+	// BreakerOpens counts closed/half-open → open transitions;
+	// BreakerState is "" without a breaker, else "closed", "open" or
+	// "half-open". Rejections counts fetches refused while open.
+	BreakerOpens int64
+	BreakerState string
+	Rejections   int64
+	// StaleServed counts fetches answered with an expired snapshot
+	// while a refresh ran (or failed); StaleAge is the current
+	// snapshot's age, zero without a cache or snapshot.
+	StaleServed int64
+	StaleAge    time.Duration
+	// LastErr is the most recent fetch error observed by the retry
+	// decorator ("" after a success).
+	LastErr string
+}
+
+// Statser is implemented by sources that can report Stats. All
+// decorators of this package implement it, merging the inner source's
+// snapshot when it is a Statser too.
+type Statser interface {
+	SourceStats() Stats
+}
+
+// StatsOf snapshots a source's counters: its SourceStats when it is a
+// Statser, else a zero Stats carrying only the name.
+func StatsOf(s Source) Stats {
+	if st, ok := s.(Statser); ok {
+		return st.SourceStats()
+	}
+	return Stats{Name: s.Name()}
+}
+
+// static is a Source over a fixed in-memory store — the degenerate
+// wrapper, and the adapter for the pre-materialized inputs the
+// mediator historically consumed.
+type static struct {
+	name  string
+	store *tree.Store
+}
+
+// Static wraps a fixed store as an always-healthy source.
+func Static(name string, store *tree.Store) Source {
+	return &static{name: name, store: store}
+}
+
+func (s *static) Name() string { return s.name }
+
+func (s *static) Fetch(ctx context.Context) (*tree.Store, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.store, nil
+}
+
+// funcSource adapts a closure to the Source interface.
+type funcSource struct {
+	name string
+	fn   func(context.Context) (*tree.Store, error)
+}
+
+// FromFunc wraps a fetch closure as a source — the hook for real
+// wrapper backends (HTTP, SQL) without a dependency on them here.
+func FromFunc(name string, fn func(context.Context) (*tree.Store, error)) Source {
+	return &funcSource{name: name, fn: fn}
+}
+
+func (s *funcSource) Name() string { return s.name }
+
+func (s *funcSource) Fetch(ctx context.Context) (*tree.Store, error) { return s.fn(ctx) }
+
+// sinkKey carries a trace.Sink through fetch contexts.
+type sinkKey struct{}
+
+// WithSink returns a context carrying the sink; decorators emit their
+// source-retry / breaker-open / stale-served events to it. A nil sink
+// returns ctx unchanged.
+func WithSink(ctx context.Context, s trace.Sink) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, sinkKey{}, s)
+}
+
+// emit sends an event to the context's sink, if any.
+func emit(ctx context.Context, e trace.Event) {
+	if s, _ := ctx.Value(sinkKey{}).(trace.Sink); s != nil {
+		s.Emit(e)
+	}
+}
+
+// counter is a tiny alias to keep decorator structs tidy.
+type counter = atomic.Int64

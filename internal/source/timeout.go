@@ -1,0 +1,45 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"yat/internal/tree"
+)
+
+// timeouter bounds each fetch with a deadline.
+type timeouter struct {
+	inner    Source
+	d        time.Duration
+	timeouts counter
+}
+
+// WithTimeout decorates a source with a per-fetch deadline. The
+// timeout is cooperative — the inner source must honor its context —
+// so an expired fetch returns promptly without leaking a goroutine,
+// which is the property the soak job's leak check pins.
+func WithTimeout(s Source, d time.Duration) Source {
+	return &timeouter{inner: s, d: d}
+}
+
+func (t *timeouter) Name() string { return t.inner.Name() }
+
+func (t *timeouter) Fetch(ctx context.Context) (*tree.Store, error) {
+	tctx, cancel := context.WithTimeout(ctx, t.d)
+	defer cancel()
+	store, err := t.inner.Fetch(tctx)
+	if err != nil && errors.Is(tctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+		t.timeouts.Add(1)
+		return nil, fmt.Errorf("source %s: fetch exceeded %v: %w", t.inner.Name(), t.d, err)
+	}
+	return store, err
+}
+
+// SourceStats implements Statser.
+func (t *timeouter) SourceStats() Stats {
+	s := StatsOf(t.inner)
+	s.Timeouts += t.timeouts.Load()
+	return s
+}

@@ -52,6 +52,10 @@ const (
 	// PhaseSlice groups demand-driven events: slice computations and
 	// per-rule cache decisions of the mediator's query pushdown.
 	PhaseSlice
+	// PhaseSource groups source-layer events: wrapper fetches, retry
+	// attempts, breaker trips and stale-snapshot serves of the
+	// mediator's fault-tolerant source layer.
+	PhaseSource
 
 	numPhases
 )
@@ -72,6 +76,8 @@ func (p Phase) String() string {
 		return "construct"
 	case PhaseSlice:
 		return "slice"
+	case PhaseSource:
+		return "source"
 	}
 	return fmt.Sprintf("phase(%d)", int(p))
 }
@@ -117,6 +123,20 @@ const (
 	// KindCacheMiss records a rule that had to be (re)materialized
 	// for a query; Rule names it.
 	KindCacheMiss
+	// KindSourceFetch records one source fetch attempt by the
+	// mediator; Detail is the source name, Count is 1 on success and 0
+	// on failure, Duration the fetch wall time.
+	KindSourceFetch
+	// KindSourceRetry records a retry re-attempt against a source;
+	// Detail is the source name, Count the 1-based attempt number.
+	KindSourceRetry
+	// KindBreakerOpen records a circuit breaker tripping open; Detail
+	// is the source name, Count the consecutive-failure count.
+	KindBreakerOpen
+	// KindStaleServed records a fetch answered from an expired
+	// snapshot while a refresh ran; Detail is the source name,
+	// Duration the snapshot's age.
+	KindStaleServed
 )
 
 func (k Kind) String() string {
@@ -145,6 +165,14 @@ func (k Kind) String() string {
 		return "cache-hit"
 	case KindCacheMiss:
 		return "cache-miss"
+	case KindSourceFetch:
+		return "source-fetch"
+	case KindSourceRetry:
+		return "source-retry"
+	case KindBreakerOpen:
+		return "breaker-open"
+	case KindStaleServed:
+		return "stale-served"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -216,6 +244,19 @@ type RuleProfile struct {
 	CacheMisses int `json:"cache_misses,omitempty"`
 }
 
+// SourceProfile aggregates the source-layer activity of one named
+// source: fetches with failures, retry re-attempts, breaker trips and
+// stale-snapshot serves.
+type SourceProfile struct {
+	Source       string        `json:"source"`
+	Fetches      int           `json:"fetches"`
+	Failures     int           `json:"failures"`
+	Retries      int           `json:"retries"`
+	BreakerOpens int           `json:"breaker_opens"`
+	StaleServed  int           `json:"stale_served"`
+	Wall         time.Duration `json:"wall_ns"`
+}
+
 // Profile is a Sink that aggregates the event stream into a
 // per-rule/per-phase table. The zero value is not ready; use
 // NewProfile.
@@ -232,11 +273,13 @@ type Profile struct {
 	// the rules they ran.
 	slices     int
 	sliceRules int
+	// sources aggregates source-layer events per source name.
+	sources map[string]*SourceProfile
 }
 
 // NewProfile returns an empty profile ready to attach to a run.
 func NewProfile() *Profile {
-	return &Profile{rules: map[string]*RuleProfile{}}
+	return &Profile{rules: map[string]*RuleProfile{}, sources: map[string]*SourceProfile{}}
 }
 
 // Emit implements Sink.
@@ -258,6 +301,23 @@ func (p *Profile) Emit(e Event) {
 	case KindSliceComputed:
 		p.slices++
 		p.sliceRules += e.Count
+		return
+	case KindSourceFetch:
+		sp := p.source(e.Detail)
+		sp.Fetches++
+		if e.Count == 0 {
+			sp.Failures++
+		}
+		sp.Wall += e.Duration
+		return
+	case KindSourceRetry:
+		p.source(e.Detail).Retries++
+		return
+	case KindBreakerOpen:
+		p.source(e.Detail).BreakerOpens++
+		return
+	case KindStaleServed:
+		p.source(e.Detail).StaleServed++
 		return
 	}
 	r := p.rule(e.Rule)
@@ -297,6 +357,18 @@ func (p *Profile) Emit(e Event) {
 		r.CacheMisses++
 		ph.Items++
 	}
+}
+
+func (p *Profile) source(name string) *SourceProfile {
+	if p.sources == nil {
+		p.sources = map[string]*SourceProfile{}
+	}
+	s, ok := p.sources[name]
+	if !ok {
+		s = &SourceProfile{Source: name}
+		p.sources[name] = s
+	}
+	return s
 }
 
 func (p *Profile) rule(name string) *RuleProfile {
@@ -345,6 +417,23 @@ func (p *Profile) Wall() time.Duration {
 	return p.wall
 }
 
+// Sources returns the per-source profiles sorted by source name (the
+// values are copies; empty without source-layer events).
+func (p *Profile) Sources() []SourceProfile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.sources))
+	for n := range p.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SourceProfile, len(names))
+	for i, n := range names {
+		out[i] = *p.sources[n]
+	}
+	return out
+}
+
 // Rules returns the per-rule profiles sorted by rule name. The
 // returned values are deep copies; mutating them does not affect the
 // profile.
@@ -389,6 +478,7 @@ var dataPhases = [...]Phase{PhaseMatch, PhaseFunctions, PhasePredicates, PhaseSk
 // runs and Parallelism settings — the form the golden tests pin.
 func (p *Profile) Render(w io.Writer, timing bool) error {
 	rules := p.Rules()
+	sources := p.Sources()
 	p.mu.Lock()
 	program, rounds, pending, wall := p.program, p.rounds, append([]int(nil), p.roundPending...), p.wall
 	slices, sliceRules := p.slices, p.sliceRules
@@ -408,6 +498,14 @@ func (p *Profile) Render(w io.Writer, timing bool) error {
 	}
 	if slices > 0 {
 		fmt.Fprintf(w, "slices: %d rules=%d\n", slices, sliceRules)
+	}
+	for _, s := range sources {
+		fmt.Fprintf(w, "source %s  fetches=%d failures=%d retries=%d breaker-opens=%d stale-served=%d",
+			s.Source, s.Fetches, s.Failures, s.Retries, s.BreakerOpens, s.StaleServed)
+		if timing {
+			fmt.Fprintf(w, " wall=%v", s.Wall)
+		}
+		fmt.Fprintln(w)
 	}
 	for _, r := range rules {
 		fmt.Fprintf(w, "\nrule %s  fired=%d kept=%d skolems=%d outputs=%d\n",
@@ -478,16 +576,28 @@ type jsonRule struct {
 	CacheMisses int            `json:"cache_misses,omitempty"`
 }
 
+// jsonSource is the JSON shape of one source block.
+type jsonSource struct {
+	Source       string `json:"source"`
+	Fetches      int    `json:"fetches"`
+	Failures     int    `json:"failures"`
+	Retries      int    `json:"retries"`
+	BreakerOpens int    `json:"breaker_opens"`
+	StaleServed  int    `json:"stale_served"`
+	WallNS       int64  `json:"wall_ns,omitempty"`
+}
+
 // jsonProfile is the JSON shape of the whole profile.
 type jsonProfile struct {
-	Program      string     `json:"program"`
-	Rounds       int        `json:"rounds"`
-	RoundPending []int      `json:"round_pending,omitempty"`
-	Events       int        `json:"events"`
-	WallNS       int64      `json:"wall_ns,omitempty"`
-	Slices       int        `json:"slices,omitempty"`
-	SliceRules   int        `json:"slice_rules,omitempty"`
-	Rules        []jsonRule `json:"rules"`
+	Program      string       `json:"program"`
+	Rounds       int          `json:"rounds"`
+	RoundPending []int        `json:"round_pending,omitempty"`
+	Events       int          `json:"events"`
+	WallNS       int64        `json:"wall_ns,omitempty"`
+	Slices       int          `json:"slices,omitempty"`
+	SliceRules   int          `json:"slice_rules,omitempty"`
+	Sources      []jsonSource `json:"sources,omitempty"`
+	Rules        []jsonRule   `json:"rules"`
 }
 
 // JSON renders the profile as indented JSON. With timing false all
@@ -508,6 +618,14 @@ func (p *Profile) JSON(timing bool) ([]byte, error) {
 		doc.WallNS = p.wall.Nanoseconds()
 	}
 	p.mu.Unlock()
+	for _, s := range p.Sources() {
+		js := jsonSource{Source: s.Source, Fetches: s.Fetches, Failures: s.Failures,
+			Retries: s.Retries, BreakerOpens: s.BreakerOpens, StaleServed: s.StaleServed}
+		if timing {
+			js.WallNS = s.Wall.Nanoseconds()
+		}
+		doc.Sources = append(doc.Sources, js)
+	}
 	for _, r := range rules {
 		jr := jsonRule{
 			Rule:    r.Rule,

@@ -278,3 +278,21 @@ func ODMGStore(nCars, nSup, supsPerCar int, seed uint64) *tree.Store {
 	}
 	return store
 }
+
+// SplitStore partitions a store round-robin (by sorted entry order)
+// into k stores — the shape of one logical input federated across k
+// wrapped sources. k < 1 is treated as 1; the parts merge back into
+// the original store regardless of k.
+func SplitStore(s *tree.Store, k int) []*tree.Store {
+	if k < 1 {
+		k = 1
+	}
+	parts := make([]*tree.Store, k)
+	for i := range parts {
+		parts[i] = tree.NewStore()
+	}
+	for i, e := range s.Entries() {
+		parts[i%k].Put(e.Name, e.Tree)
+	}
+	return parts
+}

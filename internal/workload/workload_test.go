@@ -184,3 +184,34 @@ func TestRNGBounds(t *testing.T) {
 		t.Errorf("poor distribution: %v", seen)
 	}
 }
+
+func TestSplitStoreRoundRobin(t *testing.T) {
+	s := BrochureStore(7, 2, 3, 5)
+	parts := SplitStore(s, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	merged := tree.NewStore()
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+		for _, e := range p.Entries() {
+			if _, clash := merged.Get(e.Name); clash {
+				t.Fatalf("entry %s in two parts", e.Name)
+			}
+			merged.Put(e.Name, e.Tree)
+		}
+	}
+	if total != s.Len() || merged.Len() != s.Len() {
+		t.Fatalf("split lost entries: %d vs %d", total, s.Len())
+	}
+	// Balanced within one entry.
+	for i, p := range parts {
+		if d := p.Len() - parts[0].Len(); d < -1 || d > 1 {
+			t.Errorf("part %d unbalanced: %d vs %d", i, p.Len(), parts[0].Len())
+		}
+	}
+	if got := SplitStore(s, 0); len(got) != 1 || got[0].Len() != s.Len() {
+		t.Errorf("k=0 should degrade to a single full part")
+	}
+}

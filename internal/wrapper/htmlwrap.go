@@ -50,20 +50,29 @@ func SanitizeURL(n tree.Name) string {
 
 // ExportHTML renders every page object of a conversion result into
 // HTML text, returning URL → document. Anchors (&HtmlPage(...)
-// references under href) resolve to the target page's URL.
+// references under href) resolve to the target page's URL. Two
+// distinct page identities mapping to the same URL (SanitizeURL is
+// lossy) is an error naming both identities — one page silently
+// overwriting the other would lose content.
 func ExportHTML(outputs *tree.Store, opts *HTMLOptions) (map[string]string, error) {
 	pages := map[string]string{}
+	owner := map[string]tree.Name{}
 	for _, e := range outputs.Entries() {
 		if e.Name.Functor != opts.functor() {
 			continue
 		}
+		url := opts.url(e.Name)
+		if prev, clash := owner[url]; clash {
+			return nil, fmt.Errorf("wrapper: URL collision: pages %s and %s both map to %q", prev, e.Name, url)
+		}
+		owner[url] = e.Name
 		var b strings.Builder
 		b.WriteString("<!DOCTYPE html>\n")
 		if err := renderHTML(&b, e.Tree, opts); err != nil {
 			return nil, fmt.Errorf("wrapper: rendering page %s: %w", e.Name, err)
 		}
 		b.WriteByte('\n')
-		pages[opts.url(e.Name)] = b.String()
+		pages[url] = b.String()
 	}
 	return pages, nil
 }

@@ -320,3 +320,34 @@ func TestCustomURLMapping(t *testing.T) {
 		t.Errorf("custom URL not used: %v", PageURLs(pages))
 	}
 }
+
+// SanitizeURL is lossy: distinct identities can map to one URL. That
+// must be a detected error naming both pages, never a silent overwrite
+// of whichever page exported first.
+func TestExportHTMLURLCollision(t *testing.T) {
+	store := tree.NewStore()
+	a := tree.SkolemName("HtmlPage", tree.String("x.y"))
+	b := tree.SkolemName("HtmlPage", tree.String("x;y"))
+	if SanitizeURL(a) != SanitizeURL(b) {
+		t.Fatalf("test setup: %q and %q should collide", SanitizeURL(a), SanitizeURL(b))
+	}
+	store.Put(a, tree.Sym("html", tree.Str("first")))
+	store.Put(b, tree.Sym("html", tree.Str("second")))
+	pages, err := ExportHTML(store, nil)
+	if err == nil {
+		t.Fatalf("collision not detected; exported %v", PageURLs(pages))
+	}
+	msg := err.Error()
+	for _, want := range []string{"collision", a.String(), b.String(), SanitizeURL(a)} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+	// Distinct URLs stay fine.
+	ok := tree.NewStore()
+	ok.Put(tree.SkolemName("HtmlPage", tree.String("one")), tree.Sym("html", tree.Str("1")))
+	ok.Put(tree.SkolemName("HtmlPage", tree.String("two")), tree.Sym("html", tree.Str("2")))
+	if _, err := ExportHTML(ok, nil); err != nil {
+		t.Fatalf("no collision, but: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package yat
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"yat/internal/tree"
@@ -152,4 +153,73 @@ func TestFacadeDemandMediator(t *testing.T) {
 	if len(res.RuleOutputs["Sup"]) == 0 {
 		t.Error("facade RunSlice produced no Sup outputs")
 	}
+}
+
+// A mediator-only option passed to a plain engine run would otherwise
+// be silently ignored; the run must surface the misconfiguration as a
+// warning instead.
+func TestMediatorOnlyOptionWarns(t *testing.T) {
+	prog := yatl.MustParse(Rules1And2)
+	inputs := workload.BrochureStore(2, 1, 2, 1)
+	res, err := Run(prog, inputs, WithDemandDriven(true), WithSources(StaticSource("s", NewStore())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDemand, foundSources := false, false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "WithDemandDriven") {
+			foundDemand = true
+		}
+		if strings.Contains(w, "WithSources") {
+			foundSources = true
+		}
+	}
+	if !foundDemand || !foundSources {
+		t.Errorf("warnings = %q, want mentions of WithDemandDriven and WithSources", res.Warnings)
+	}
+	// The same options through NewMediator warn about nothing: they
+	// are consumed before the engine sees them.
+	med := NewMediator(prog, inputs, WithDemandDriven(true))
+	if _, err := med.Ask(`X`, "Psup"); err != nil {
+		t.Fatal(err)
+	}
+	if s := med.Stats(); !s.Demand {
+		t.Errorf("mediator did not consume WithDemandDriven: %+v", s)
+	}
+}
+
+// The facade end of the fault-tolerant source layer: decorate, attach,
+// degrade, inspect.
+func TestFacadeFaultTolerantSources(t *testing.T) {
+	prog := yatl.MustParse(Rules1And2)
+	healthyStore := workload.BrochureStore(3, 1, 2, 9)
+	clock := NewFakeSourceClock()
+	fault := NewFaultSource("brochures", healthyStore,
+		FaultStep{Fail: errors.New("cold start")},
+	).WithClock(clock)
+	src := SourceWithCache(
+		SourceWithBreaker(
+			SourceWithRetry(fault, RetryOptions{MaxAttempts: 3, Clock: clock}),
+			BreakerOptions{Clock: clock}),
+		CacheOptions{Clock: clock})
+	med := NewMediator(prog, nil, WithSources(src))
+	got, err := med.Ask(`class -> supplier -*> Y`, "Psup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no answers through the decorated source")
+	}
+	st := med.Stats()
+	if len(st.Sources) != 1 {
+		t.Fatalf("Sources = %+v", st.Sources)
+	}
+	s := st.Sources[0]
+	if s.Name != "brochures" || s.Retries != 1 || s.FetchErr != "" || s.Entries == 0 {
+		t.Errorf("source status = %+v, want 1 absorbed retry and a healthy fetch", s)
+	}
+	if stats := SourceStatsOf(src); stats.Attempts != 2 {
+		t.Errorf("SourceStatsOf = %+v, want 2 attempts", stats)
+	}
+	src.Wait()
 }

@@ -50,6 +50,7 @@ import (
 	"yat/internal/library"
 	"yat/internal/mediator"
 	"yat/internal/pattern"
+	"yat/internal/source"
 	"yat/internal/trace"
 	"yat/internal/tree"
 	"yat/internal/typing"
@@ -344,6 +345,90 @@ type MediatorStats = mediator.Stats
 func NewMediator(prog *Program, inputs *Store, opts ...Option) *Mediator {
 	return mediator.New(prog, inputs, opts...)
 }
+
+// MediatorSourceStatus is one source's health as reported by
+// Mediator.Stats: the chain's own counters plus the outcome of the
+// mediator's most recent fetch of it.
+type MediatorSourceStatus = mediator.SourceStatus
+
+// SourceFetchError is the all-sources-failed error: the mediator
+// degrades through any partial failure, so only every source failing
+// at once aborts a materialization.
+type SourceFetchError = mediator.FetchError
+
+// Fault-tolerant sources (the internal/source layer). A Source feeds a
+// mediator live input trees; decorators compose resilience around it,
+// conventionally cache(breaker(retry(timeout(src)))):
+//
+//	src := yat.SourceWithCache(
+//	    yat.SourceWithBreaker(
+//	        yat.SourceWithRetry(
+//	            yat.SourceWithTimeout(api, 2*time.Second),
+//	            yat.RetryOptions{}),
+//	        yat.BreakerOptions{}),
+//	    yat.CacheOptions{})
+//	med := yat.NewMediator(prog, nil, yat.WithSources(src))
+type (
+	// Source produces an input snapshot on demand; the mediator
+	// fetches every source concurrently and merges deterministically.
+	Source = source.Source
+	// SourceStats is a source chain's counters (attempts, retries,
+	// breaker state, staleness); read with SourceStatsOf or through
+	// Mediator.Stats().Sources.
+	SourceStats = source.Stats
+	// RetryOptions tunes SourceWithRetry (attempts, exponential
+	// backoff, jitter; zero values mean the defaults).
+	RetryOptions = source.RetryOptions
+	// BreakerOptions tunes SourceWithBreaker (consecutive-failure
+	// threshold, cooldown before the half-open probe).
+	BreakerOptions = source.BreakerOptions
+	// CacheOptions tunes SourceWithCache (snapshot TTL); expired
+	// snapshots serve stale while one background refresh runs.
+	CacheOptions = source.CacheOptions
+	// CachedSource is the stale-while-revalidate decorator's concrete
+	// type, exposing Refresh/Invalidate/Wait.
+	CachedSource = source.Cached
+	// SourceBreakerOpenError is returned while a breaker rejects
+	// fetches without touching its source.
+	SourceBreakerOpenError = source.ErrBreakerOpen
+	// FaultStep scripts one fetch of a fault-injection source.
+	FaultStep = source.Step
+	// FaultSource is the scriptable fault-injection source for tests,
+	// soaks and demos.
+	FaultSource = source.Fault
+	// SourceClock abstracts time for the source decorators; inject a
+	// FakeSourceClock to test retry/breaker schedules without sleeping.
+	SourceClock = source.Clock
+	// FakeSourceClock is a deterministic manual clock.
+	FakeSourceClock = source.FakeClock
+)
+
+var (
+	// WithSources attaches fault-tolerant sources to NewMediator; the
+	// constructor store merges first, then each source in declaration
+	// order (later sources win name collisions). A failing source
+	// degrades to a partial materialization; only all sources failing
+	// is an error.
+	WithSources = mediator.WithSources
+	// StaticSource serves a fixed store; FuncSource adapts a closure.
+	StaticSource = source.Static
+	FuncSource   = source.FromFunc
+	// SourceWithTimeout bounds each fetch; SourceWithRetry retries
+	// with exponential backoff and jitter; SourceWithBreaker trips a
+	// circuit breaker on consecutive failures; SourceWithCache serves
+	// stale snapshots while revalidating in the background.
+	SourceWithTimeout = source.WithTimeout
+	SourceWithRetry   = source.WithRetry
+	SourceWithBreaker = source.WithBreaker
+	SourceWithCache   = source.WithCache
+	// NewFaultSource scripts a fault-injection source.
+	NewFaultSource = source.NewFault
+	// NewFakeSourceClock returns a manual clock for deterministic
+	// retry/breaker tests.
+	NewFakeSourceClock = source.NewFakeClock
+	// SourceStatsOf reads a source chain's merged counters.
+	SourceStatsOf = source.StatsOf
+)
 
 // Observability (the internal/trace layer). Attach a sink through
 // RunOptions.Trace; a nil sink costs nothing.
