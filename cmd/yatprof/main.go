@@ -30,6 +30,10 @@
 //	              and the profile gains the per-source fetch/retry
 //	              lines (the schedule runs on a fake clock — no real
 //	              backoff sleeps)
+//	-stats        with -ask: print the mediator's statistics (the
+//	              shared mediator.Stats rendering, also served by
+//	              yatserve's GET /stats) instead of the EXPLAIN
+//	              profile; -json and -timing apply
 package main
 
 import (
@@ -63,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		funcFlag    = fs.String("functors", "", "comma-separated Skolem functors restricting -ask")
 		demandFlag  = fs.Bool("demand", false, "answer -ask demand-driven (slice + per-rule cache)")
 		faultFlag   = fs.Int("fault", 0, "with -ask: inject N scripted source failures before the input store serves")
+		statsFlag   = fs.Bool("stats", false, "with -ask: print mediator stats instead of the EXPLAIN profile")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +95,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "yatprof: -fault requires -ask (it exercises the mediator's source layer)")
 		return 2
 	}
+	if *statsFlag && *askFlag == "" {
+		fmt.Fprintln(stderr, "yatprof: -stats requires -ask (stats describe a mediator)")
+		return 2
+	}
+	var med *yat.Mediator
 	if *askFlag != "" {
 		opts := []yat.Option{
 			yat.WithTrace(profile),
@@ -113,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			opts = append(opts, yat.WithSources(src))
 			inputs = nil
 		}
-		med := yat.NewMediator(prog, inputs, opts...)
+		med = yat.NewMediator(prog, inputs, opts...)
 		var functors []string
 		for _, f := range strings.Split(*funcFlag, ",") {
 			if f = strings.TrimSpace(f); f != "" {
@@ -137,7 +147,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, w := range warnings {
 		fmt.Fprintln(stderr, "yatprof: warning:", w)
 	}
-	if *jsonFlag {
+	if *statsFlag {
+		stats := med.Stats()
+		if *jsonFlag {
+			data, jerr := stats.JSON(*timingFlag)
+			if jerr != nil {
+				fmt.Fprintln(stderr, "yatprof:", jerr)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s\n", data)
+		} else if rerr := stats.Render(stdout, *timingFlag); rerr != nil {
+			fmt.Fprintln(stderr, "yatprof:", rerr)
+			return 1
+		}
+	} else if *jsonFlag {
 		data, jerr := profile.JSON(*timingFlag)
 		if jerr != nil {
 			fmt.Fprintln(stderr, "yatprof:", jerr)

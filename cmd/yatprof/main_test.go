@@ -140,6 +140,58 @@ func TestFaultFlag(t *testing.T) {
 	}
 }
 
+// -stats swaps the EXPLAIN profile for the mediator's statistics,
+// rendered by the shared mediator.StatsView renderer (the same one
+// yatserve's GET /stats serves).
+func TestStatsFlag(t *testing.T) {
+	input := brochureFile(t)
+	args := []string{"-program", "sgml2odmg", "-input", input,
+		"-ask", "X", "-functors", "Psup", "-demand", "-stats"}
+	code, out, errOut := runProf(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"mediator stats (generation 1, demand mode)", "asks: 1", "cached-rules:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "EXPLAIN") {
+		t.Error("-stats still printed the EXPLAIN profile")
+	}
+
+	code, jsonOut, errOut := runProf(t, append(args, "-json")...)
+	if code != 0 {
+		t.Fatalf("-json exit %d, stderr: %s", code, errOut)
+	}
+	// The document is the StatsView schema, deterministic without
+	// -timing.
+	var doc struct {
+		Generation  int64 `json:"generation"`
+		Demand      bool  `json:"demand"`
+		Asks        int64 `json:"asks"`
+		CachedRules int   `json:"cached_rules"`
+	}
+	body := jsonOut[strings.Index(jsonOut, "{"):]
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, jsonOut)
+	}
+	if doc.Generation != 1 || !doc.Demand || doc.Asks != 1 || doc.CachedRules == 0 {
+		t.Errorf("unexpected stats document: %+v", doc)
+	}
+	if _, again, _ := runProf(t, append(args, "-json")...); again != jsonOut {
+		t.Error("stats JSON differs between identical runs")
+	}
+}
+
+func TestStatsRequiresAsk(t *testing.T) {
+	input := brochureFile(t)
+	code, _, errOut := runProf(t, "-program", "sgml2odmg", "-input", input, "-stats")
+	if code != 2 || !strings.Contains(errOut, "-ask") {
+		t.Fatalf("exit %d, stderr: %s; want usage error mentioning -ask", code, errOut)
+	}
+}
+
 func TestFaultRequiresAsk(t *testing.T) {
 	input := brochureFile(t)
 	code, _, errOut := runProf(t, "-program", "sgml2odmg", "-input", input, "-fault", "1")

@@ -1,0 +1,191 @@
+// Yatserve runs the mediator as a long-running network service: a
+// pool of demand-driven mediators behind an HTTP/JSON API.
+//
+//	POST /ask                        pattern query over the virtual target
+//	GET  /functors                   Skolem functors of the target
+//	GET  /stats                      pool-wide mediator stats (?timing=0 for
+//	                                 the deterministic document)
+//	GET  /explain                    an ask under a request-scoped EXPLAIN
+//	                                 profile (also POST /ask?explain=1)
+//	GET  /healthz                    liveness + per-source health
+//	POST /admin/reload               hot-swap a recompiled program (body =
+//	                                 YATL source)
+//	POST /admin/refresh-source/{name}  re-fetch one source
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight asks get up to
+// -drain to finish, then the process exits 0 on a clean drain.
+//
+// Usage:
+//
+//	yatserve [flags]
+//
+//	-addr         listen address (default :8080)
+//	-program      a .yatl file, the name of a built-in library program
+//	              (sgml2odmg, sgml2odmgTyped, sgml2odmgPrime, odmg2html),
+//	              or selective:K — the synthetic K-view selective-ask
+//	              program the load harness targets
+//	-input        input store: a file in YAT tree syntax, or
+//	              brochures:N,S,P[,seed] — a synthetic store of N
+//	              brochures with S suppliers each from a pool of P
+//	-split        serve the input through N static sources instead of a
+//	              pre-materialized store (exercises the source layer and
+//	              per-source health; 0 = direct store)
+//	-pool         mediator lanes (default 4)
+//	-parallelism  engine worker count per lane (0 = sequential)
+//	-demand       demand-driven lanes (default true; -demand=false
+//	              materializes the full target per lane)
+//	-drain        graceful-drain deadline on shutdown (default 10s)
+//	-quiet        suppress operational logs
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"yat/internal/engine"
+	"yat/internal/library"
+	"yat/internal/serve"
+	"yat/internal/source"
+	"yat/internal/tree"
+	"yat/internal/workload"
+	"yat/internal/yatl"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("yatserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addrFlag   = fs.String("addr", ":8080", "listen address")
+		progFlag   = fs.String("program", "", "conversion program (.yatl file, built-in name, or selective:K)")
+		inputFlag  = fs.String("input", "", "input store (file, or brochures:N,S,P[,seed])")
+		splitFlag  = fs.Int("split", 0, "serve the input via N static sources (0 = direct store)")
+		poolFlag   = fs.Int("pool", 4, "mediator lanes")
+		parFlag    = fs.Int("parallelism", 0, "engine worker count per lane (0 = sequential)")
+		demandFlag = fs.Bool("demand", true, "demand-driven lanes")
+		drainFlag  = fs.Duration("drain", 10*time.Second, "graceful-drain deadline on shutdown")
+		quietFlag  = fs.Bool("quiet", false, "suppress operational logs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *progFlag == "" {
+		fmt.Fprintln(stderr, "yatserve: -program is required")
+		fs.Usage()
+		return 2
+	}
+
+	prog, err := loadProgram(*progFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "yatserve:", err)
+		return 1
+	}
+	inputs, err := loadInputs(*inputFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "yatserve:", err)
+		return 1
+	}
+
+	cfg := serve.Config{
+		Prog:         prog,
+		Demand:       demandFlag,
+		Pool:         *poolFlag,
+		DrainTimeout: *drainFlag,
+	}
+	if *parFlag > 0 {
+		cfg.Options = []engine.Option{engine.WithParallelism(*parFlag)}
+	}
+	if !*quietFlag {
+		logger := log.New(stderr, "", log.LstdFlags)
+		cfg.Logf = logger.Printf
+	}
+	if *splitFlag > 0 {
+		if inputs == nil {
+			fmt.Fprintln(stderr, "yatserve: -split needs an -input store to split")
+			return 2
+		}
+		for i, part := range workload.SplitStore(inputs, *splitFlag) {
+			cfg.Sources = append(cfg.Sources, source.Static(fmt.Sprintf("src%d", i+1), part))
+		}
+	} else {
+		cfg.Inputs = inputs
+	}
+
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "yatserve:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.ListenAndServe(ctx, *addrFlag); err != nil {
+		fmt.Fprintln(stderr, "yatserve:", err)
+		return 1
+	}
+	return 0
+}
+
+// loadProgram resolves a -program spec: a .yatl file, a built-in
+// library name, or selective:K.
+func loadProgram(spec string) (*yatl.Program, error) {
+	if k, ok := strings.CutPrefix(spec, "selective:"); ok {
+		n, err := strconv.Atoi(k)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad spec %q: want selective:K with K > 0", spec)
+		}
+		return yatl.Parse(workload.SelectiveProgram(n))
+	}
+	if strings.HasSuffix(spec, ".yatl") {
+		return library.LoadProgram(spec)
+	}
+	if p, ok := library.Builtin().Program(spec); ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("unknown program %q (not a .yatl file, built-in, or selective:K)", spec)
+}
+
+// loadInputs resolves an -input spec: empty (no inputs — the program
+// must be fed by sources or need none), a brochures:N,S,P[,seed]
+// synthetic store, or a file in YAT tree syntax.
+func loadInputs(spec string) (*tree.Store, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if args, ok := strings.CutPrefix(spec, "brochures:"); ok {
+		parts := strings.Split(args, ",")
+		if len(parts) != 3 && len(parts) != 4 {
+			return nil, fmt.Errorf("bad spec %q: want brochures:N,S,P[,seed]", spec)
+		}
+		nums := make([]int, len(parts))
+		for i, p := range parts {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad spec %q: %q is not a non-negative integer", spec, p)
+			}
+			nums[i] = n
+		}
+		seed := uint64(42)
+		if len(nums) == 4 {
+			seed = uint64(nums[3])
+		}
+		return workload.BrochureStore(nums[0], nums[1], nums[2], seed), nil
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return tree.ParseStore(string(data))
+}

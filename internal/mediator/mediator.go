@@ -114,7 +114,7 @@ type generation struct {
 	err    error
 }
 
-func (g *generation) materialize(ctx context.Context, m *Mediator) (*engine.Result, error) {
+func (g *generation) materialize(ctx context.Context, m *Mediator, prog *yatl.Program) (*engine.Result, error) {
 	g.once.Do(func() {
 		inputs, err := m.fetchInputs(ctx)
 		if err != nil {
@@ -122,10 +122,24 @@ func (g *generation) materialize(ctx context.Context, m *Mediator) (*engine.Resu
 			g.done.Store(true)
 			return
 		}
-		g.result, g.err = engine.RunContext(ctx, m.prog, inputs, m.opts)
+		g.result, g.err = engine.RunContext(ctx, prog, inputs, m.opts)
 		g.done.Store(true)
 	})
 	return g.result, g.err
+}
+
+// progState is one program lifetime: the program itself plus the
+// materialization state built over it, stamped with a generation
+// number. Invalidate and Reload swap in a fresh progState; every query
+// snapshots exactly one and works against it throughout, so a query
+// racing a reload observes the old program or the new one in its
+// entirety — never a mixed answer.
+type progState struct {
+	prog *yatl.Program
+	gen  *generation
+	// dgen is the demand-driven cache, nil unless WithDemandDriven.
+	dgen *demandGen
+	num  int64
 }
 
 // demandGen is one demand-driven cache lifetime: a per-rule memo of
@@ -177,7 +191,6 @@ func newDemandGen() *demandGen {
 
 // Mediator answers queries over the virtual target of a conversion.
 type Mediator struct {
-	prog   *yatl.Program
 	inputs *tree.Store
 	opts   *engine.Options
 	demand bool
@@ -192,10 +205,9 @@ type Mediator struct {
 	srcEntries map[string][]tree.Name
 	srcErrs    map[string]error
 
-	mu  sync.Mutex // guards gen, dgen and lastGood
-	gen *generation
-	// dgen is the demand-driven cache, nil unless WithDemandDriven.
-	dgen *demandGen
+	mu sync.Mutex // guards cur and lastGood
+	// cur is the current program state; queries snapshot it once.
+	cur *progState
 	// lastGood retains the stats of the most recent successful
 	// materialization so they stay readable after Invalidate until
 	// the next generation materializes.
@@ -214,7 +226,7 @@ type Mediator struct {
 // (a legacy *engine.Options value also works: it satisfies
 // engine.Option); WithDemandDriven selects the evaluation strategy.
 func New(prog *yatl.Program, inputs *tree.Store, opts ...engine.Option) *Mediator {
-	m := &Mediator{prog: prog, inputs: inputs, gen: &generation{}}
+	m := &Mediator{inputs: inputs, cur: &progState{prog: prog, gen: &generation{}, num: 1}}
 	var eng []engine.Option
 	for _, o := range opts {
 		switch o := o.(type) {
@@ -228,7 +240,7 @@ func New(prog *yatl.Program, inputs *tree.Store, opts ...engine.Option) *Mediato
 	}
 	m.opts = engine.NewOptions(eng...)
 	if m.demand {
-		m.dgen = newDemandGen()
+		m.cur.dgen = newDemandGen()
 	}
 	if len(m.sources) > 0 {
 		m.srcEntries = map[string][]tree.Name{}
@@ -236,6 +248,26 @@ func New(prog *yatl.Program, inputs *tree.Store, opts ...engine.Option) *Mediato
 	}
 	return m
 }
+
+// state snapshots the current program state. Everything a query does
+// afterwards — slicing, materializing, matching — works against this
+// one snapshot, which is what makes Invalidate and Reload atomic from
+// the query's point of view.
+func (m *Mediator) state() *progState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// Program returns the program the mediator currently serves (the one
+// installed by the constructor or the most recent Reload).
+func (m *Mediator) Program() *yatl.Program { return m.state().prog }
+
+// Generation returns the current program-state generation number. It
+// starts at 1 and increments on every Invalidate and Reload; two asks
+// reporting the same generation were answered by the same program and
+// cache lifetime.
+func (m *Mediator) Generation() int64 { return m.state().num }
 
 // fetchInputs assembles the engine's input store. Without sources it
 // is the constructor's store; with sources, every source is fetched
@@ -323,18 +355,16 @@ func (m *Mediator) fetchInputs(ctx context.Context) (*tree.Store, error) {
 // callers block on the same sync.Once and share the outcome. The
 // boolean reports whether the generation was already materialized
 // when the caller arrived (a cache hit for Stats accounting).
-func (m *Mediator) materialize(ctx context.Context) (*engine.Result, bool, error) {
-	m.mu.Lock()
-	g := m.gen
-	m.mu.Unlock()
+func (m *Mediator) materialize(ctx context.Context, st *progState) (*engine.Result, bool, error) {
+	g := st.gen
 	warm := g.done.Load()
-	res, err := g.materialize(ctx, m)
+	res, err := g.materialize(ctx, m, st.prog)
 	if err == nil && !warm {
 		m.mu.Lock()
 		// Only credit the generation still current: a stale run
 		// finishing after an Invalidate must not overwrite the stats
 		// of a newer materialization.
-		if g == m.gen || !m.hasLastGood {
+		if st == m.cur || !m.hasLastGood {
 			m.lastGood = res.Stats
 			m.hasLastGood = true
 		}
@@ -396,10 +426,11 @@ func (m *Mediator) AskPatternContext(ctx context.Context, pt *pattern.PTree, fun
 // errors included.
 func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.PTree, functors []string) ([]Answer, error) {
 	defer func() { m.askNanos.Add(time.Since(start).Nanoseconds()) }()
+	st := m.state()
 	var entries []tree.StoreEntry
 	var matcher *engine.Matcher
 	if m.demand {
-		es, hit, err := m.ensureDemand(ctx, functors)
+		es, hit, err := m.ensureDemand(ctx, st, functors)
 		if err != nil {
 			m.cacheMiss.Add(1)
 			return nil, err
@@ -415,7 +446,7 @@ func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.
 		// a storeless matcher is exactly the full-mode matcher.
 		matcher = &engine.Matcher{}
 	} else {
-		res, warm, err := m.materialize(ctx)
+		res, warm, err := m.materialize(ctx, st)
 		if err != nil {
 			// A memoized failure is still a miss on every ask: nothing
 			// usable was served from cache.
@@ -460,14 +491,12 @@ func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.
 // consistent snapshot of the cached entries restricted to the
 // requested functors, and whether the query was served entirely from
 // cache.
-func (m *Mediator) ensureDemand(ctx context.Context, functors []string) ([]tree.StoreEntry, bool, error) {
-	m.mu.Lock()
-	g := m.dgen
-	m.mu.Unlock()
+func (m *Mediator) ensureDemand(ctx context.Context, st *progState, functors []string) ([]tree.StoreEntry, bool, error) {
+	g := st.dgen
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
-	ask := engine.ComputeSlice(m.prog, functors...)
+	ask := engine.ComputeSlice(st.prog, functors...)
 	var missing []*yatl.Rule
 	for _, r := range ask.Construct {
 		if !g.cached[r.Name] {
@@ -501,8 +530,8 @@ func (m *Mediator) ensureDemand(ctx context.Context, functors []string) ([]tree.
 			g.lastErr = err
 			return nil, false, err
 		}
-		sub := engine.ComputeSlice(m.prog, fs...)
-		res, err := engine.RunSlice(ctx, m.prog, inputs, sub, m.opts)
+		sub := engine.ComputeSlice(st.prog, fs...)
+		res, err := engine.RunSlice(ctx, st.prog, inputs, sub, m.opts)
 		if err != nil {
 			g.lastErr = err
 			return nil, false, err
@@ -564,8 +593,9 @@ func (m *Mediator) Get(name tree.Name) (*tree.Node, bool, error) {
 // GetContext is Get with a cancellation context applied to any engine
 // run the lookup triggers.
 func (m *Mediator) GetContext(ctx context.Context, name tree.Name) (*tree.Node, bool, error) {
+	st := m.state()
 	if m.demand {
-		entries, _, err := m.ensureDemand(ctx, []string{name.Functor})
+		entries, _, err := m.ensureDemand(ctx, st, []string{name.Functor})
 		if err != nil {
 			return nil, false, err
 		}
@@ -577,7 +607,7 @@ func (m *Mediator) GetContext(ctx context.Context, name tree.Name) (*tree.Node, 
 		}
 		return nil, false, nil
 	}
-	res, _, err := m.materialize(ctx)
+	res, _, err := m.materialize(ctx, st)
 	if err != nil {
 		return nil, false, err
 	}
@@ -589,15 +619,16 @@ func (m *Mediator) GetContext(ctx context.Context, name tree.Name) (*tree.Node, 
 // This needs the whole target, so a demand-driven mediator fully
 // materializes here.
 func (m *Mediator) Functors() ([]string, error) {
+	st := m.state()
 	var entries []tree.StoreEntry
 	if m.demand {
-		es, _, err := m.ensureDemand(nil, nil)
+		es, _, err := m.ensureDemand(nil, st, nil)
 		if err != nil {
 			return nil, err
 		}
 		entries = es
 	} else {
-		res, _, err := m.materialize(nil)
+		res, _, err := m.materialize(nil, st)
 		if err != nil {
 			return nil, err
 		}
@@ -639,6 +670,9 @@ type Stats struct {
 	// AskTime is the cumulative wall time spent inside Ask calls;
 	// divide by Asks for the mean per-query latency.
 	AskTime time.Duration
+	// Generation is the current program-state generation number (1 on
+	// construction, +1 per Invalidate or Reload).
+	Generation int64
 	// Demand reports the mediator evaluates demand-driven. The fields
 	// below are only meaningful when it is set.
 	Demand bool
@@ -693,8 +727,9 @@ func (m *Mediator) Stats() Stats {
 		return m.demandStats()
 	}
 	m.mu.Lock()
-	g := m.gen
-	s := Stats{Run: m.lastGood}
+	st := m.cur
+	g := st.gen
+	s := Stats{Run: m.lastGood, Generation: st.num}
 	m.mu.Unlock()
 	if g.done.Load() {
 		if g.err != nil {
@@ -718,9 +753,8 @@ func (m *Mediator) Stats() Stats {
 // accumulates engine work across slice runs, Materialized means every
 // construct rule of the program is cached.
 func (m *Mediator) demandStats() Stats {
-	m.mu.Lock()
-	g := m.dgen
-	m.mu.Unlock()
+	st := m.state()
+	g := st.dgen
 	g.mu.Lock()
 	s := Stats{
 		Run:         g.stats,
@@ -728,8 +762,9 @@ func (m *Mediator) demandStats() Stats {
 		CachedRules: len(g.cached),
 		SliceRuns:   g.runs,
 		Err:         g.lastErr,
+		Generation:  st.num,
 	}
-	full := engine.ComputeSlice(m.prog)
+	full := engine.ComputeSlice(st.prog)
 	s.Materialized = len(full.Construct) > 0
 	for _, r := range full.Construct {
 		if !g.cached[r.Name] {
@@ -751,12 +786,34 @@ func (m *Mediator) demandStats() Stats {
 // old generation finish against its consistent snapshot.
 func (m *Mediator) Invalidate() {
 	m.mu.Lock()
+	next := &progState{prog: m.cur.prog, gen: &generation{}, num: m.cur.num + 1}
 	if m.demand {
-		m.dgen = newDemandGen()
-	} else {
-		m.gen = &generation{}
+		next.dgen = newDemandGen()
 	}
+	m.cur = next
 	m.mu.Unlock()
+}
+
+// Reload swaps the mediator's program for a recompiled one behind the
+// atomic program state: queries already running finish against the
+// old program's consistent cache, queries arriving afterwards observe
+// the new program — never a mix of the two. On a demand-driven
+// mediator the per-rule cache survives where safe: a cached functor
+// group stays warm exactly when its rule slice — construct and
+// support rules alike — is present in the new program with identical
+// rule names and identical rule text, so nothing that could have
+// influenced its cached outputs changed. Every other group is evicted
+// through the same machinery InvalidateRule uses. A non-demand
+// mediator reconverts wholesale on the next query.
+func (m *Mediator) Reload(prog *yatl.Program) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.cur
+	next := &progState{prog: prog, gen: &generation{}, num: old.num + 1}
+	if m.demand {
+		next.dgen = old.dgen.cloneFor(old.prog, prog)
+	}
+	m.cur = next
 }
 
 // InvalidateRule drops from the demand cache every functor group
@@ -770,14 +827,13 @@ func (m *Mediator) InvalidateRule(rule string) {
 		m.Invalidate()
 		return
 	}
-	m.mu.Lock()
-	g := m.dgen
-	m.mu.Unlock()
+	st := m.state()
+	g := st.dgen
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, f := range g.cachedFunctors(m.prog) {
-		if engine.ComputeSlice(m.prog, f).Includes(rule) {
-			g.dropFunctor(m.prog, f)
+	for _, f := range g.cachedFunctors(st.prog) {
+		if engine.ComputeSlice(st.prog, f).Includes(rule) {
+			g.dropFunctor(st.prog, f)
 		}
 	}
 }
@@ -791,14 +847,13 @@ func (m *Mediator) InvalidateSource(src tree.Name) {
 		m.Invalidate()
 		return
 	}
-	m.mu.Lock()
-	g := m.dgen
-	m.mu.Unlock()
+	st := m.state()
+	g := st.dgen
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	key := src.Key()
-	for _, f := range g.cachedFunctors(m.prog) {
-		sl := engine.ComputeSlice(m.prog, f)
+	for _, f := range g.cachedFunctors(st.prog) {
+		sl := engine.ComputeSlice(st.prog, f)
 		depends := false
 		for _, r := range sl.Construct {
 			if g.ruleSources[r.Name][key] {
@@ -815,7 +870,7 @@ func (m *Mediator) InvalidateSource(src tree.Name) {
 			}
 		}
 		if depends {
-			g.dropFunctor(m.prog, f)
+			g.dropFunctor(st.prog, f)
 		}
 	}
 }
@@ -858,9 +913,7 @@ func (m *Mediator) RefreshSource(ctx context.Context, name string) error {
 		m.Invalidate()
 		return nil
 	}
-	m.mu.Lock()
-	g := m.dgen
-	m.mu.Unlock()
+	g := m.state().dgen
 	g.mu.Lock()
 	wasDegraded := g.degraded[name]
 	g.mu.Unlock()

@@ -1,0 +1,185 @@
+// The one stats renderer. Every consumer that shows mediator
+// statistics to a human or a machine — cmd/yatprof's -stats flag and
+// yatserve's GET /stats endpoint — goes through StatsView, so the two
+// report byte-identical documents for the same program and ask
+// sequence and can never drift into rival hand-rolled formatters.
+package mediator
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunView is the engine-work portion of a StatsView.
+type RunView struct {
+	Activations int `json:"activations"`
+	Bindings    int `json:"bindings"`
+	Outputs     int `json:"outputs"`
+	Rounds      int `json:"rounds"`
+}
+
+// SourceView is one source's health in a StatsView.
+type SourceView struct {
+	Name         string  `json:"name"`
+	Attempts     int64   `json:"attempts"`
+	Failures     int64   `json:"failures"`
+	Retries      int64   `json:"retries"`
+	Timeouts     int64   `json:"timeouts"`
+	BreakerState string  `json:"breaker_state,omitempty"`
+	BreakerOpens int64   `json:"breaker_opens,omitempty"`
+	Rejections   int64   `json:"rejections,omitempty"`
+	StaleServed  int64   `json:"stale_served,omitempty"`
+	StaleAgeMS   float64 `json:"stale_age_ms,omitempty"`
+	LastErr      string  `json:"last_err,omitempty"`
+	FetchErr     string  `json:"fetch_err,omitempty"`
+	Entries      int     `json:"entries"`
+}
+
+// StatsView is the stable rendering of a Stats snapshot. Timing
+// fields (AskTimeMS, StaleAgeMS) are only populated when the view is
+// built with timing on, so untimed views are deterministic for a given
+// program and ask sequence — the property the yatprof/yatserve parity
+// test pins.
+type StatsView struct {
+	Generation   int64        `json:"generation"`
+	Materialized bool         `json:"materialized"`
+	Err          string       `json:"err,omitempty"`
+	Demand       bool         `json:"demand"`
+	Asks         int64        `json:"asks"`
+	CacheHits    int64        `json:"cache_hits"`
+	CacheMisses  int64        `json:"cache_misses"`
+	AskTimeMS    float64      `json:"ask_time_ms,omitempty"`
+	CachedRules  int          `json:"cached_rules"`
+	SliceRuns    int64        `json:"slice_runs"`
+	Run          RunView      `json:"run"`
+	Sources      []SourceView `json:"sources,omitempty"`
+}
+
+// View builds the stable rendering of the snapshot. With timing off,
+// wall-clock fields are zeroed (and omitted from JSON), leaving only
+// fields deterministic for a given program and ask sequence.
+func (s Stats) View(timing bool) StatsView {
+	v := StatsView{
+		Generation:   s.Generation,
+		Materialized: s.Materialized,
+		Demand:       s.Demand,
+		Asks:         s.Asks,
+		CacheHits:    s.CacheHits,
+		CacheMisses:  s.CacheMisses,
+		CachedRules:  s.CachedRules,
+		SliceRuns:    s.SliceRuns,
+		Run: RunView{
+			Activations: s.Run.Activations,
+			Bindings:    s.Run.Bindings,
+			Outputs:     s.Run.Outputs,
+			Rounds:      s.Run.Rounds,
+		},
+	}
+	if s.Err != nil {
+		v.Err = s.Err.Error()
+	}
+	if timing {
+		v.AskTimeMS = float64(s.AskTime) / float64(time.Millisecond)
+	}
+	for _, src := range s.Sources {
+		sv := SourceView{
+			Name:         src.Name,
+			Attempts:     src.Attempts,
+			Failures:     src.Failures,
+			Retries:      src.Retries,
+			Timeouts:     src.Timeouts,
+			BreakerState: src.BreakerState,
+			BreakerOpens: src.BreakerOpens,
+			Rejections:   src.Rejections,
+			StaleServed:  src.StaleServed,
+			LastErr:      src.LastErr,
+			FetchErr:     src.FetchErr,
+			Entries:      src.Entries,
+		}
+		if timing {
+			sv.StaleAgeMS = float64(src.StaleAge) / float64(time.Millisecond)
+		}
+		v.Sources = append(v.Sources, sv)
+	}
+	return v
+}
+
+// JSON renders the snapshot as indented, key-stable JSON.
+func (s Stats) JSON(timing bool) ([]byte, error) {
+	return json.MarshalIndent(s.View(timing), "", "  ")
+}
+
+// Render writes the snapshot as a human-oriented text table.
+func (s Stats) Render(w io.Writer, timing bool) error {
+	v := s.View(timing)
+	mode := "full"
+	if v.Demand {
+		mode = "demand"
+	}
+	if _, err := fmt.Fprintf(w, "mediator stats (generation %d, %s mode)\n", v.Generation, mode); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  materialized: %v", v.Materialized)
+	if v.Err != "" {
+		fmt.Fprintf(w, "  err: %s", v.Err)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  asks: %d  hits: %d  misses: %d", v.Asks, v.CacheHits, v.CacheMisses)
+	if timing {
+		fmt.Fprintf(w, "  ask-time: %.3fms", v.AskTimeMS)
+	}
+	fmt.Fprintln(w)
+	if v.Demand {
+		fmt.Fprintf(w, "  cached-rules: %d  slice-runs: %d\n", v.CachedRules, v.SliceRuns)
+	}
+	fmt.Fprintf(w, "  run: activations=%d bindings=%d outputs=%d rounds=%d\n",
+		v.Run.Activations, v.Run.Bindings, v.Run.Outputs, v.Run.Rounds)
+	for _, src := range v.Sources {
+		fmt.Fprintf(w, "  source %s: attempts=%d failures=%d retries=%d entries=%d",
+			src.Name, src.Attempts, src.Failures, src.Retries, src.Entries)
+		if src.BreakerState != "" {
+			fmt.Fprintf(w, " breaker=%s", src.BreakerState)
+		}
+		if src.FetchErr != "" {
+			fmt.Fprintf(w, " fetch-err=%q", src.FetchErr)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Aggregate folds the stats of a pool of mediators serving the same
+// program into one pool-wide snapshot: counters sum, Materialized is
+// the conjunction, Generation is the minimum (the pool's slowest lane
+// — the number every lane reaches once a reload settles), Err is the
+// first non-nil, and Sources are taken from the first snapshot (pool
+// lanes share the same source chains, whose counters are already
+// chain-global). Aggregating a single snapshot returns it unchanged.
+func Aggregate(ss ...Stats) Stats {
+	if len(ss) == 0 {
+		return Stats{}
+	}
+	out := ss[0]
+	for _, s := range ss[1:] {
+		out.Run.Activations += s.Run.Activations
+		out.Run.Bindings += s.Run.Bindings
+		out.Run.Outputs += s.Run.Outputs
+		out.Run.Rounds += s.Run.Rounds
+		out.Materialized = out.Materialized && s.Materialized
+		if out.Err == nil {
+			out.Err = s.Err
+		}
+		out.Asks += s.Asks
+		out.CacheHits += s.CacheHits
+		out.CacheMisses += s.CacheMisses
+		out.AskTime += s.AskTime
+		if s.Generation < out.Generation {
+			out.Generation = s.Generation
+		}
+		out.CachedRules += s.CachedRules
+		out.SliceRuns += s.SliceRuns
+	}
+	return out
+}

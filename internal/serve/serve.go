@@ -1,0 +1,556 @@
+// Package serve turns the mediator into what the paper says it is —
+// a service. A Server fronts a pool of demand-driven mediators with
+// an HTTP/JSON API:
+//
+//	POST /ask                        pattern query over the virtual target
+//	GET  /functors                   Skolem functors of the target
+//	GET  /stats                      pool-wide mediator.Stats (shared renderer)
+//	GET  /explain                    an ask under a request-scoped EXPLAIN profile
+//	GET  /healthz                    liveness + per-source health
+//	POST /admin/reload               hot-swap a recompiled program
+//	POST /admin/refresh-source/{name}  re-fetch one source, invalidate dependents
+//
+// Requests ride the existing functional-options API: AskContext
+// carries the request context for cancellation, typed engine errors
+// map onto stable JSON error codes and HTTP statuses, and tracing is
+// strictly request-scoped — the pool's mediators run with a nil trace
+// sink (the zero-overhead guarantee), while /ask?explain=1 and
+// /explain build a fresh profile, and a fresh mediator under it, for
+// that one request.
+//
+// The pool is N independent lanes over the same program and sources,
+// assigned round-robin: each lane memoizes its own demand cache, so
+// lanes warm independently but never contend on one cache lock.
+// Admin operations apply to every lane; hot reload calls
+// Mediator.Reload per lane, which swaps the program behind an atomic
+// generation and carries warm cache state for unchanged rule slices
+// across the swap.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yat/internal/engine"
+	"yat/internal/mediator"
+	"yat/internal/source"
+	"yat/internal/trace"
+	"yat/internal/tree"
+	"yat/internal/yatl"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Prog is the conversion program to serve.
+	Prog *yatl.Program
+	// Inputs is the pre-materialized input store (may be nil when
+	// Sources feed the mediators instead).
+	Inputs *tree.Store
+	// Sources are fault-tolerant live sources, shared by every lane.
+	Sources []source.Source
+	// Options are engine options applied to every lane (parallelism,
+	// registry, ...). Trace sinks are rejected: tracing is
+	// request-scoped, the pool always runs with a nil sink.
+	Options []engine.Option
+	// Demand selects demand-driven lanes (per-ask slicing + per-rule
+	// caching). Serving wants this on; it defaults to on in New.
+	Demand *bool
+	// Pool is the number of mediator lanes (default 4).
+	Pool int
+	// DrainTimeout bounds the graceful drain of in-flight asks on
+	// shutdown (default 10s).
+	DrainTimeout time.Duration
+	// Logf receives one-line operational logs (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Server is the long-running mediator service.
+type Server struct {
+	cfg    Config
+	demand bool
+	pool   []*mediator.Mediator
+	next   atomic.Uint64
+
+	admin sync.Mutex // serializes reload/refresh across the pool
+
+	inflight atomic.Int64
+	served   atomic.Int64
+	failed   atomic.Int64
+	reloads  atomic.Int64
+	start    time.Time
+}
+
+// New builds a Server over a pool of mediators. It fails fast on a
+// nil program or a traced option set instead of surprising the first
+// request.
+func New(cfg Config) (*Server, error) {
+	if cfg.Prog == nil {
+		return nil, errors.New("serve: Config.Prog is required")
+	}
+	if engine.NewOptions(cfg.Options...).Trace != nil {
+		return nil, errors.New("serve: tracing is request-scoped; do not configure a pool-wide sink")
+	}
+	if cfg.Pool <= 0 {
+		cfg.Pool = 4
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{cfg: cfg, demand: cfg.Demand == nil || *cfg.Demand, start: time.Now()}
+	for i := 0; i < cfg.Pool; i++ {
+		s.pool = append(s.pool, mediator.New(cfg.Prog, cfg.Inputs, s.laneOptions(nil)...))
+	}
+	return s, nil
+}
+
+// laneOptions assembles one mediator's option list: the configured
+// engine options, the serving mode, the shared sources, and (for
+// request-scoped tracing only) a sink.
+func (s *Server) laneOptions(sink trace.Sink) []engine.Option {
+	opts := append([]engine.Option(nil), s.cfg.Options...)
+	opts = append(opts, mediator.WithDemandDriven(s.demand))
+	if len(s.cfg.Sources) > 0 {
+		opts = append(opts, mediator.WithSources(s.cfg.Sources...))
+	}
+	if sink != nil {
+		opts = append(opts, engine.WithTrace(sink))
+	}
+	return opts
+}
+
+// lane picks the next pool lane, round-robin.
+func (s *Server) lane() *mediator.Mediator {
+	return s.pool[s.next.Add(1)%uint64(len(s.pool))]
+}
+
+// program is the currently served program (construction or the most
+// recent successful reload; every lane agrees outside an in-flight
+// reload).
+func (s *Server) program() *yatl.Program { return s.pool[0].Program() }
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ask", s.handleAsk)
+	mux.HandleFunc("GET /functors", s.handleFunctors)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	mux.HandleFunc("POST /admin/refresh-source/{name}", s.handleRefreshSource)
+	return mux
+}
+
+// ErrorCode maps an ask error onto its stable JSON error code and
+// HTTP status. The codes are part of the wire contract: clients
+// dispatch on them, so they only ever grow.
+func ErrorCode(err error) (code string, status int) {
+	var (
+		parseErr *yatl.ParseError
+		safety   *engine.SafetyError
+		unconv   *engine.ErrUnconverted
+		nondet   *engine.NonDetError
+		fixpoint *engine.FixpointError
+		fetch    *mediator.FetchError
+	)
+	switch {
+	case err == nil:
+		return "", http.StatusOK
+	case errors.As(err, &parseErr):
+		return "parse_error", http.StatusBadRequest
+	case errors.As(err, &safety):
+		return "safety_error", http.StatusUnprocessableEntity
+	case errors.As(err, &unconv):
+		return "unconverted", http.StatusUnprocessableEntity
+	case errors.As(err, &nondet):
+		return "nondeterministic", http.StatusUnprocessableEntity
+	case errors.As(err, &fixpoint):
+		return "fixpoint_diverged", http.StatusUnprocessableEntity
+	case errors.As(err, &fetch):
+		return "sources_unavailable", http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout", http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return "canceled", http.StatusServiceUnavailable
+	default:
+		return "internal", http.StatusInternalServerError
+	}
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code, status := ErrorCode(err)
+	writeJSON(w, status, map[string]errorBody{
+		"error": {Code: code, Message: err.Error()},
+	})
+}
+
+// AskRequest is the POST /ask body.
+type AskRequest struct {
+	// Pattern is the query, in YATL concrete pattern syntax.
+	Pattern string `json:"pattern"`
+	// Functors optionally restricts the ask to these Skolem functors
+	// (a demand-driven lane then materializes only their slices).
+	Functors []string `json:"functors,omitempty"`
+}
+
+// AskAnswer is one answer on the wire.
+type AskAnswer struct {
+	// Name is the Skolem identity of the matched target object.
+	Name string `json:"name"`
+	// Binding maps each pattern variable to its value's display form.
+	Binding map[string]string `json:"binding,omitempty"`
+}
+
+// AskResponse is the POST /ask (and GET /explain) response.
+type AskResponse struct {
+	Generation int64       `json:"generation"`
+	Count      int         `json:"count"`
+	Answers    []AskAnswer `json:"answers"`
+	// Profile is the request-scoped EXPLAIN profile, present only when
+	// the request asked for it (?explain=1, or GET /explain).
+	Profile json.RawMessage `json:"profile,omitempty"`
+}
+
+func wireAnswers(answers []mediator.Answer) []AskAnswer {
+	out := make([]AskAnswer, 0, len(answers))
+	for _, a := range answers {
+		wa := AskAnswer{Name: a.Name.String()}
+		if len(a.Binding) > 0 {
+			wa.Binding = make(map[string]string, len(a.Binding))
+			for k, v := range a.Binding {
+				wa.Binding[k] = v.Display()
+			}
+		}
+		out = append(out, wa)
+	}
+	return out
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	var req AskRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		s.failed.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]errorBody{
+			"error": {Code: "bad_request", Message: "body must be JSON: " + err.Error()}})
+		return
+	}
+	if req.Pattern == "" {
+		s.failed.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]errorBody{
+			"error": {Code: "bad_request", Message: `"pattern" is required`}})
+		return
+	}
+	if r.URL.Query().Get("explain") == "1" {
+		s.explainAsk(w, r, req.Pattern, req.Functors)
+		return
+	}
+	med := s.lane()
+	answers, err := med.AskContext(r.Context(), req.Pattern, req.Functors...)
+	if err != nil {
+		s.failed.Add(1)
+		writeError(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, AskResponse{
+		Generation: med.Generation(),
+		Count:      len(answers),
+		Answers:    wireAnswers(answers),
+	})
+}
+
+// explainAsk serves one ask under a request-scoped profile: a fresh
+// mediator over the current program with its own trace.Profile, so
+// the EXPLAIN covers exactly this request (cold, slices and cache
+// decisions visible) and the pool's nil-sink lanes stay untouched.
+func (s *Server) explainAsk(w http.ResponseWriter, r *http.Request, pattern string, functors []string) {
+	timing := r.URL.Query().Get("timing") == "1"
+	profile := trace.NewProfile()
+	med := mediator.New(s.program(), s.cfg.Inputs, s.laneOptions(profile)...)
+	answers, err := med.AskContext(r.Context(), pattern, functors...)
+	if err != nil {
+		s.failed.Add(1)
+		writeError(w, err)
+		return
+	}
+	data, err := profile.JSON(timing)
+	if err != nil {
+		s.failed.Add(1)
+		writeError(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, AskResponse{
+		Generation: med.Generation(),
+		Count:      len(answers),
+		Answers:    wireAnswers(answers),
+		Profile:    data,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	q := r.URL.Query()
+	pattern := q.Get("pattern")
+	if pattern == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]errorBody{
+			"error": {Code: "bad_request", Message: `"pattern" query parameter is required`}})
+		return
+	}
+	var functors []string
+	for _, f := range strings.Split(q.Get("functors"), ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			functors = append(functors, f)
+		}
+	}
+	s.explainAsk(w, r, pattern, functors)
+}
+
+func (s *Server) handleFunctors(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	med := s.lane()
+	fs, err := med.Functors()
+	if err != nil {
+		s.failed.Add(1)
+		writeError(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": med.Generation(),
+		"functors":   fs,
+	})
+}
+
+// serverStats is the server's own half of GET /stats; the mediator
+// half is the shared mediator.StatsView renderer.
+type serverStats struct {
+	Pool     int     `json:"pool"`
+	Inflight int64   `json:"inflight"`
+	Served   int64   `json:"served"`
+	Failed   int64   `json:"failed"`
+	Reloads  int64   `json:"reloads"`
+	UptimeMS float64 `json:"uptime_ms,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	timing := r.URL.Query().Get("timing") != "0"
+	views := make([]mediator.Stats, len(s.pool))
+	for i, m := range s.pool {
+		views[i] = m.Stats()
+	}
+	agg := mediator.Aggregate(views...)
+	srv := serverStats{
+		Pool:     len(s.pool),
+		Inflight: s.inflight.Load(),
+		Served:   s.served.Load(),
+		Failed:   s.failed.Load(),
+		Reloads:  s.reloads.Load(),
+	}
+	if timing {
+		srv.UptimeMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"server":   srv,
+		"mediator": agg.View(timing),
+	})
+}
+
+// sourceHealth is one source's entry in GET /healthz.
+type sourceHealth struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	FetchErr string `json:"fetch_err,omitempty"`
+	Breaker  string `json:"breaker,omitempty"`
+	Entries  int    `json:"entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// The chain counters in a SourceStatus are shared across the pool,
+	// but FetchErr and Entries describe one lane's most recent fetch —
+	// and round-robin means any single lane may never have served an
+	// ask. Fold every lane's view: a source is unhealthy if any lane's
+	// latest fetch of it failed.
+	views := make([]mediator.Stats, len(s.pool))
+	for i, m := range s.pool {
+		views[i] = m.Stats()
+	}
+	st := views[0]
+	status := "ok"
+	var sources []sourceHealth
+	if n := len(st.Sources); n > 0 {
+		failing := 0
+		for i, src := range st.Sources {
+			h := sourceHealth{Name: src.Name, Healthy: true, Breaker: src.BreakerState}
+			for _, v := range views {
+				lane := v.Sources[i]
+				if lane.FetchErr != "" {
+					h.Healthy = false
+					if h.FetchErr == "" {
+						h.FetchErr = lane.FetchErr
+					}
+				}
+				if lane.Entries > h.Entries {
+					h.Entries = lane.Entries
+				}
+			}
+			if !h.Healthy {
+				failing++
+			}
+			sources = append(sources, h)
+		}
+		switch failing {
+		case 0:
+		case n:
+			status = "failing"
+		default:
+			status = "degraded"
+		}
+	}
+	code := http.StatusOK
+	if status == "failing" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":     status,
+		"generation": st.Generation,
+		"program":    s.program().Name,
+		"sources":    sources,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]errorBody{
+			"error": {Code: "bad_request", Message: err.Error()}})
+		return
+	}
+	prog, err := yatl.Parse(string(body))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// An empty body parses to an empty program; swapping that in would
+	// silently wipe the served target.
+	if len(prog.Rules) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]errorBody{
+			"error": {Code: "bad_request", Message: "program has no rules"}})
+		return
+	}
+	if err := engine.CheckSafety(prog); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.admin.Lock()
+	for _, m := range s.pool {
+		m.Reload(prog)
+	}
+	gen := s.pool[0].Generation()
+	s.admin.Unlock()
+	s.reloads.Add(1)
+	s.cfg.Logf("yatserve: reloaded program %q (%d rules), generation %d",
+		prog.Name, len(prog.Rules), gen)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": gen,
+		"program":    prog.Name,
+		"rules":      len(prog.Rules),
+	})
+}
+
+func (s *Server) handleRefreshSource(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	known := false
+	for _, src := range s.cfg.Sources {
+		if src.Name() == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeJSON(w, http.StatusNotFound, map[string]errorBody{
+			"error": {Code: "unknown_source", Message: fmt.Sprintf("no source named %q", name)}})
+		return
+	}
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	for _, m := range s.pool {
+		if err := m.RefreshSource(r.Context(), name); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	s.cfg.Logf("yatserve: refreshed source %q", name)
+	writeJSON(w, http.StatusOK, map[string]any{"refreshed": name})
+}
+
+// Serve runs the HTTP service on the listener until ctx is cancelled,
+// then drains: in-flight asks get up to DrainTimeout to finish before
+// the server gives up on them. A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.cfg.Logf("yatserve: listening on %s (pool %d, program %q)",
+		ln.Addr(), len(s.pool), s.program().Name)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Logf("yatserve: draining %d in-flight asks (deadline %s)",
+		s.inflight.Load(), s.cfg.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	<-errc // Serve has returned http.ErrServerClosed
+	if err != nil {
+		s.cfg.Logf("yatserve: drain incomplete: %v", err)
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	s.cfg.Logf("yatserve: drained, %d asks served (%d failed)",
+		s.served.Load(), s.failed.Load())
+	return nil
+}
+
+// ListenAndServe is Serve over a fresh TCP listener on addr.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}

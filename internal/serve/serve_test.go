@@ -1,0 +1,579 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"yat/internal/engine"
+	"yat/internal/mediator"
+	"yat/internal/source"
+	"yat/internal/workload"
+	"yat/internal/yatl"
+)
+
+// versionedSelective mirrors workload.SelectiveProgram with a version
+// tag baked into each view's head, so an answer reveals which program
+// edition produced it.
+func versionedSelective(tags ...string) string {
+	var sb strings.Builder
+	sb.WriteString("program selective\n")
+	for i, tag := range tags {
+		fmt.Fprintf(&sb, `
+rule View%d {
+  head Pview%d(SN) = view < -> tag -> %q, -> name -> SN, -> city -> C >
+  from Pbr = brochure < -> number -> Num, -> title -> T,
+                        -> model -> Year, -> desc -> D,
+                        -> spplrs -*> supplier < -> name -> SN,
+                                                 -> address -> Add > >
+  let C = city(Add)
+}
+`, i+1, i+1, tag)
+	}
+	return sb.String()
+}
+
+const tagPattern = `view < -> tag -> TAG, -> name -> N, -> city -> C >`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Prog == nil {
+		cfg.Prog = yatl.MustParse(versionedSelective("v1", "v1"))
+	}
+	if cfg.Inputs == nil && len(cfg.Sources) == 0 {
+		cfg.Inputs = workload.BrochureStore(6, 2, 5, 11)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postAsk(t *testing.T, url string, req AskRequest) (*http.Response, AskResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/ask", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer the body so callers can re-read it (e.g. decodeError).
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	var out AskResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func decodeError(t *testing.T, resp *http.Response) errorBody {
+	t.Helper()
+	defer resp.Body.Close()
+	var out map[string]errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out["error"]
+}
+
+func TestAskEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2})
+	resp, out := postAsk(t, ts.URL, AskRequest{Pattern: tagPattern, Functors: []string{"Pview1"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Count == 0 || len(out.Answers) != out.Count {
+		t.Fatalf("count %d, answers %d", out.Count, len(out.Answers))
+	}
+	if out.Generation != 1 {
+		t.Fatalf("generation %d, want 1", out.Generation)
+	}
+	for _, a := range out.Answers {
+		if !strings.HasPrefix(a.Name, "Pview1(") {
+			t.Fatalf("answer outside the asked functor: %s", a.Name)
+		}
+		if a.Binding["TAG"] != `"v1"` {
+			t.Fatalf("TAG binding %q, want %q", a.Binding["TAG"], `"v1"`)
+		}
+	}
+	if out.Profile != nil {
+		t.Fatal("unrequested profile in response")
+	}
+}
+
+func TestAskErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	t.Run("bad-pattern", func(t *testing.T) {
+		resp, _ := postAsk(t, ts.URL, AskRequest{Pattern: "view < -> oops"})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		if e := decodeError(t, resp); e.Code != "parse_error" {
+			t.Fatalf("code %q, want parse_error", e.Code)
+		}
+	})
+	t.Run("missing-pattern", func(t *testing.T) {
+		resp, _ := postAsk(t, ts.URL, AskRequest{})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		if e := decodeError(t, resp); e.Code != "bad_request" {
+			t.Fatalf("code %q, want bad_request", e.Code)
+		}
+	})
+	t.Run("non-json-body", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/ask", "application/json", strings.NewReader("not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		if e := decodeError(t, resp); e.Code != "bad_request" {
+			t.Fatalf("code %q, want bad_request", e.Code)
+		}
+	})
+	t.Run("wrong-method", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/ask")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// ErrorCode is a wire contract; pin the full mapping.
+func TestErrorCode(t *testing.T) {
+	cases := []struct {
+		err    error
+		code   string
+		status int
+	}{
+		{&yatl.ParseError{}, "parse_error", 400},
+		{fmt.Errorf("wrap: %w", &yatl.ParseError{}), "parse_error", 400},
+		{&engine.SafetyError{}, "safety_error", 422},
+		{&engine.ErrUnconverted{}, "unconverted", 422},
+		{&engine.NonDetError{}, "nondeterministic", 422},
+		{&engine.FixpointError{}, "fixpoint_diverged", 422},
+		{&mediator.FetchError{}, "sources_unavailable", 503},
+		{context.DeadlineExceeded, "timeout", 504},
+		{context.Canceled, "canceled", 503},
+		{errors.New("boom"), "internal", 500},
+	}
+	for _, c := range cases {
+		code, status := ErrorCode(c.err)
+		if code != c.code || status != c.status {
+			t.Errorf("ErrorCode(%T) = %q/%d, want %q/%d", c.err, code, status, c.code, c.status)
+		}
+	}
+}
+
+func TestFunctorsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/functors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Generation int64    `json:"generation"`
+		Functors   []string `json:"functors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Pview1", "Pview2"}
+	if fmt.Sprint(out.Functors) != fmt.Sprint(want) {
+		t.Fatalf("functors %v, want %v", out.Functors, want)
+	}
+}
+
+// The stats parity contract: GET /stats renders the pool's aggregated
+// mediator.Stats through the same StatsView renderer yatprof -stats
+// uses, so a pool-of-one server and a directly driven mediator report
+// byte-identical documents for the same program and ask sequence.
+func TestStatsParity(t *testing.T) {
+	prog := yatl.MustParse(versionedSelective("v1", "v1"))
+	inputs := workload.BrochureStore(6, 2, 5, 11)
+	_, ts := newTestServer(t, Config{Prog: prog, Inputs: inputs, Pool: 1})
+
+	ref := mediator.New(prog, inputs, mediator.WithDemandDriven(true))
+	asks := []struct {
+		pattern  string
+		functors []string
+	}{
+		{tagPattern, []string{"Pview1"}},
+		{tagPattern, []string{"Pview1"}}, // warm repeat
+		{tagPattern, nil},
+	}
+	for _, a := range asks {
+		if resp, _ := postAsk(t, ts.URL, AskRequest{Pattern: a.pattern, Functors: a.functors}); resp.StatusCode != 200 {
+			t.Fatalf("ask status %d", resp.StatusCode)
+		}
+		if _, err := ref.Ask(a.pattern, a.functors...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/stats?timing=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Mediator json.RawMessage `json:"mediator"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Stats().JSON(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, wantNorm any
+	if err := json.Unmarshal(doc.Mediator, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &wantNorm); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(wantNorm)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("server /stats diverges from the shared renderer\n got: %s\nwant: %s", gotJSON, wantJSON)
+	}
+}
+
+// Request-scoped tracing: explain requests carry an EXPLAIN profile
+// covering exactly that request, and the pool's lanes keep serving
+// untraced (the profile of a later plain ask is absent again).
+func TestExplain(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// POST /ask?explain=1 returns the answers plus a request-scoped
+	// profile.
+	body, _ := json.Marshal(AskRequest{Pattern: tagPattern, Functors: []string{"Pview1"}})
+	resp, err := http.Post(ts.URL+"/ask?explain=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out AskResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || out.Count == 0 || out.Profile == nil {
+		t.Fatalf("ask?explain=1: status=%d count=%d profile=%v",
+			resp.StatusCode, out.Count, out.Profile != nil)
+	}
+
+	// GET /explain is the query-string form of the same thing.
+	u := ts.URL + "/explain?functors=Pview1&pattern=" + url.QueryEscape(tagPattern)
+	resp2, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 AskResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Count != out.Count || out2.Profile == nil {
+		t.Fatalf("explain: count=%d (want %d) profile=%v", out2.Count, out.Count, out2.Profile != nil)
+	}
+	var profile struct {
+		Rules []struct {
+			Rule string `json:"rule"`
+		} `json:"rules"`
+	}
+	if err := json.Unmarshal(out2.Profile, &profile); err != nil {
+		t.Fatal(err)
+	}
+	if len(profile.Rules) == 0 {
+		t.Fatal("explain profile has no rule lines")
+	}
+
+	// A plain ask afterwards carries no profile: tracing never leaks
+	// into the pool lanes.
+	resp3, out3 := postAsk(t, ts.URL, AskRequest{Pattern: tagPattern})
+	if resp3.StatusCode != 200 || out3.Profile != nil {
+		t.Fatalf("plain ask after explain: status=%d profile=%v", resp3.StatusCode, out3.Profile != nil)
+	}
+}
+
+func TestHealthzAndRefresh(t *testing.T) {
+	prog := yatl.MustParse(versionedSelective("v1"))
+	parts := workload.SplitStore(workload.BrochureStore(6, 2, 5, 11), 2)
+	flaky := source.NewFault("src2", parts[1])
+	cfg := Config{
+		Prog:    prog,
+		Sources: []source.Source{source.Static("src1", parts[0]), flaky},
+	}
+	s, ts := newTestServer(t, cfg)
+	_ = s
+
+	health := func() (int, map[string]any) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	// Before any ask: no fetches yet, all sources count as healthy.
+	if code, out := health(); code != 200 || out["status"] != "ok" {
+		t.Fatalf("initial health: %d %v", code, out)
+	}
+
+	if resp, _ := postAsk(t, ts.URL, AskRequest{Pattern: tagPattern}); resp.StatusCode != 200 {
+		t.Fatalf("ask status %d", resp.StatusCode)
+	}
+	if code, out := health(); code != 200 || out["status"] != "ok" {
+		t.Fatalf("healthy: %d %v", code, out)
+	}
+
+	// Break src2, refresh it through the admin endpoint: the next
+	// health probe shows the degradation after a failing ask fetch.
+	flaky.SetErr(errors.New("src2 down"))
+	req, _ := http.NewRequest("POST", ts.URL+"/admin/refresh-source/src2", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("refresh status %d", resp.StatusCode)
+	}
+	if resp, _ := postAsk(t, ts.URL, AskRequest{Pattern: tagPattern}); resp.StatusCode != 200 {
+		t.Fatalf("degraded ask status %d", resp.StatusCode)
+	}
+	code, out := health()
+	if code != 200 || out["status"] != "degraded" {
+		t.Fatalf("degraded health: %d %v", code, out)
+	}
+
+	// Unknown source name is a 404 with a stable code.
+	req, _ = http.NewRequest("POST", ts.URL+"/admin/refresh-source/nope", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown source: status %d, want 404", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != "unknown_source" {
+		t.Fatalf("code %q, want unknown_source", e.Code)
+	}
+}
+
+// Hot reload over HTTP, racing live asks at several engine
+// parallelism settings: every response is entirely one program
+// edition (one tag), the old or the new — never a mix.
+func TestReloadRaceOverHTTP(t *testing.T) {
+	editions := []string{
+		versionedSelective("v1", "v1"),
+		versionedSelective("v2", "v2"),
+	}
+	for _, par := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			_, ts := newTestServer(t, Config{
+				Prog:    yatl.MustParse(editions[0]),
+				Inputs:  workload.BrochureStore(6, 2, 5, 11),
+				Options: []engine.Option{engine.WithParallelism(par)},
+				Pool:    2,
+			})
+			const asksPerWorker = 25
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < asksPerWorker; i++ {
+						resp, out := postAsk(t, ts.URL, AskRequest{Pattern: tagPattern})
+						if resp.StatusCode != 200 {
+							t.Errorf("ask status %d", resp.StatusCode)
+							return
+						}
+						tags := map[string]bool{}
+						for _, a := range out.Answers {
+							tags[a.Binding["TAG"]] = true
+						}
+						if len(tags) != 1 {
+							t.Errorf("mixed-generation response: %v", tags)
+							return
+						}
+					}
+				}()
+			}
+			go func() {
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					i++
+					resp, err := http.Post(ts.URL+"/admin/reload", "text/plain",
+						strings.NewReader(editions[i%2]))
+					if err != nil {
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}()
+			wg.Wait()
+			close(stop)
+		})
+	}
+}
+
+func TestReloadRejectsBadPrograms(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/admin/reload", "text/plain", strings.NewReader("program broken\nrule {"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != "parse_error" {
+		t.Fatalf("code %q, want parse_error", e.Code)
+	}
+	// An empty body parses, but swapping in a zero-rule program would
+	// wipe the served target; it is refused too.
+	resp, err = http.Post(ts.URL+"/admin/reload", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty reload status %d, want 400", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != "bad_request" {
+		t.Fatalf("empty reload code %q, want bad_request", e.Code)
+	}
+	// The pool still serves the original program.
+	if got := s.program().Name; got != "selective" {
+		t.Fatalf("program swapped to %q on a failed reload", got)
+	}
+	if resp, _ := postAsk(t, ts.URL, AskRequest{Pattern: tagPattern}); resp.StatusCode != 200 {
+		t.Fatalf("ask after failed reload: %d", resp.StatusCode)
+	}
+}
+
+// Graceful shutdown: cancelling the serve context drains in-flight
+// asks (the slow ask completes with its answer, nothing is dropped)
+// and leaks no goroutines — the same leak idiom the flaky-source soak
+// pins.
+func TestGracefulDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	prog := yatl.MustParse(versionedSelective("v1"))
+	inputs := workload.BrochureStore(6, 2, 5, 11)
+	slow := source.NewFault("slow", inputs, source.Step{Latency: 150 * time.Millisecond}).Loop(true)
+	s, err := New(Config{Prog: prog, Sources: []source.Source{slow}, Pool: 1,
+		DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Launch the slow in-flight ask, then pull the plug mid-flight.
+	askDone := make(chan error, 1)
+	go func() {
+		resp, out := postAsk(t, base, AskRequest{Pattern: tagPattern})
+		if resp.StatusCode != 200 {
+			askDone <- fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		if out.Count == 0 {
+			askDone <- errors.New("drained ask lost its answers")
+			return
+		}
+		askDone <- nil
+	}()
+	time.Sleep(50 * time.Millisecond) // let the ask reach the slow fetch
+	cancel()
+
+	if err := <-askDone; err != nil {
+		t.Fatalf("in-flight ask: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond // 1..100ms
+	}
+	sum := Summarize(lat)
+	if sum.P50Ms != 50 || sum.P95Ms != 95 || sum.P99Ms != 99 || sum.MaxMs != 100 {
+		t.Fatalf("percentiles: %+v", sum)
+	}
+	if sum.MeanMs != 50.5 {
+		t.Fatalf("mean %v, want 50.5", sum.MeanMs)
+	}
+	if got := Percentile(nil, 99); got != 0 {
+		t.Fatalf("empty percentile %v", got)
+	}
+}
