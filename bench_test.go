@@ -600,6 +600,57 @@ func BenchmarkSelectiveAsk(b *testing.B) {
 			}
 		}
 	})
+	// The pure cache-hit floor: warm demand cache, cached parsed
+	// pattern, and a pattern that matches nothing — the ask path's
+	// fixed overhead with zero answer construction.
+	b.Run("demand-warm-nomatch", func(b *testing.B) {
+		m := NewMediator(prog, inputs, WithDemandDriven(true))
+		const miss = `nosuchroot < -> name -> N >`
+		if _, err := m.Ask(miss, "Pview1"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Ask(miss, "Pview1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestSelectiveAskCacheHitAllocs pins the demand-mode cache-hit ask to
+// at most 2 allocations: the pattern must come from the parse cache,
+// the repeat of an identical ask must serve from the answer memo (one
+// allocation — the defensive copy of the memoized slice), and a
+// no-match repeat must build nothing at all.
+func TestSelectiveAskCacheHitAllocs(t *testing.T) {
+	prog, err := ParseProgram(workload.SelectiveProgram(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := workload.BrochureStore(60, 3, 20, 7)
+	m := NewMediator(prog, inputs, WithDemandDriven(true))
+	for _, tc := range []struct {
+		name    string
+		pattern string
+		budget  float64
+	}{
+		{"match", `view < -> name -> N, -> city -> C, -> zip -> Z >`, 2},
+		{"nomatch", `nosuchroot < -> name -> N >`, 0},
+	} {
+		if _, err := m.Ask(tc.pattern, "Pview1"); err != nil {
+			t.Fatal(err)
+		}
+		got := testing.AllocsPerRun(200, func() {
+			if _, err := m.Ask(tc.pattern, "Pview1"); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > tc.budget {
+			t.Errorf("%s: demand cache-hit ask allocates %.1f times per op, want <= %.0f", tc.name, got, tc.budget)
+		}
+	}
 }
 
 // BenchmarkSourcedAsk measures the fault-tolerant source layer's cost

@@ -14,10 +14,15 @@
 //	-severity   exit non-zero when a diagnostic at or above this
 //	            severity is found: info, warning or error (default error)
 //	-list       list the registered analyzers and exit
+//	-facts      emit the optimizer facts (symbol table, dispatch
+//	            roots, dead rules, strata) as JSON and exit
 //
-// Diagnostics print as `file:line:col: severity: [category] message`.
-// The exit status is 0 when the programs are clean under the
-// threshold, 1 when findings reach it, and 2 on usage or I/O errors.
+// Diagnostics print as `file:line:col: severity: [category] message`,
+// in a pinned total order — file, then line, then column, then
+// analyzer name — so output is byte-stable across runs and input
+// orderings. The exit status is 0 when the programs are clean under
+// the threshold, 1 when findings reach it, and 2 on usage or I/O
+// errors.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"yat/internal/analysis"
 	"yat/internal/library"
@@ -51,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonFlag     = fs.Bool("json", false, "emit diagnostics as JSON")
 		severityFlag = fs.String("severity", "error", "fail when a diagnostic at or above this severity exists (info|warning|error)")
 		listFlag     = fs.Bool("list", false, "list the registered analyzers and exit")
+		factsFlag    = fs.Bool("facts", false, "emit the optimizer facts as JSON and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,6 +102,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *factsFlag {
+		// Facts mode replaces the diagnostic run: emit the optimizer's
+		// view of each program (symbol table size, dispatch roots, dead
+		// and unreachable rules, strata) as one JSON array.
+		type fileFacts struct {
+			File string `json:"file"`
+			*analysis.FactsReport
+		}
+		var reps []fileFacts
+		for _, t := range targets {
+			if t.err != nil {
+				fmt.Fprintf(stderr, "yatcheck: %s: %v\n", t.name, t.err)
+				return 2
+			}
+			reps = append(reps, fileFacts{File: t.name, FactsReport: analysis.ReportFacts(t.prog)})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reps); err != nil {
+			fmt.Fprintln(stderr, "yatcheck:", err)
+			return 2
+		}
+		return 0
+	}
+
 	var all []fileDiagnostic
 	for _, t := range targets {
 		if t.err != nil {
@@ -118,6 +150,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			all = append(all, fileDiagnostic{File: t.name, Diagnostic: d})
 		}
 	}
+
+	// Pin a total order over the combined output: file, then line, then
+	// column, then analyzer name. analysis.Run orders findings within
+	// one program, but the combined stream must not depend on argument
+	// order tie-breaking or per-analyzer emission order, so both the
+	// JSON and text renderings sort here. Severity and message are
+	// final tie-breakers to keep the order total.
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Message < b.Message
+	})
 
 	if *jsonFlag {
 		enc := json.NewEncoder(stdout)

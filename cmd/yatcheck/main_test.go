@@ -225,6 +225,118 @@ func TestListAnalyzers(t *testing.T) {
 	}
 }
 
+// TestPinnedOutputOrder: diagnostics print in the pinned total order —
+// file, line, column, analyzer name — regardless of the order the
+// files are named on the command line, and the bytes are identical
+// across runs.
+func TestPinnedOutputOrder(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.yatl")
+	b := filepath.Join(dir, "b.yatl")
+	if err := os.WriteFile(a, []byte(warningOnlySource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(brokenSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, forward, _ := runCheck(t, "-json", a, b)
+	_, reversed, _ := runCheck(t, "-json", b, a)
+	if forward != reversed {
+		t.Errorf("-json output depends on argument order:\n%s\nvs\n%s", forward, reversed)
+	}
+	if _, again, _ := runCheck(t, "-json", a, b); again != forward {
+		t.Error("-json output differs between identical runs")
+	}
+
+	var diags []struct {
+		File     string `json:"file"`
+		Category string `json:"category"`
+		Pos      struct {
+			Line int `json:"line"`
+			Col  int `json:"col"`
+		} `json:"pos"`
+	}
+	if err := json.Unmarshal([]byte(forward), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, forward)
+	}
+	if len(diags) < 3 {
+		t.Fatalf("want at least 3 diagnostics across both files, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		p, q := diags[i-1], diags[i]
+		ordered := p.File < q.File ||
+			(p.File == q.File && (p.Pos.Line < q.Pos.Line ||
+				(p.Pos.Line == q.Pos.Line && (p.Pos.Col < q.Pos.Col ||
+					(p.Pos.Col == q.Pos.Col && p.Category <= q.Category)))))
+		if !ordered {
+			t.Errorf("diagnostics %d and %d out of pinned order: %+v then %+v", i-1, i, p, q)
+		}
+	}
+
+	// Text mode obeys the same order.
+	_, tf, _ := runCheck(t, a, b)
+	_, tr, _ := runCheck(t, b, a)
+	if tf != tr {
+		t.Errorf("text output depends on argument order:\n%s\nvs\n%s", tf, tr)
+	}
+	if ia, ib := strings.Index(tf, a), strings.Index(tf, b); ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("text output not grouped by file (a at %d, b at %d):\n%s", ia, ib, tf)
+	}
+}
+
+// TestFactsOutput: -facts emits the optimizer facts as JSON and skips
+// the diagnostic gate entirely.
+func TestFactsOutput(t *testing.T) {
+	path := writeProgram(t, "clean.yatl", cleanSource)
+	code, stdout, stderr := runCheck(t, "-facts", path)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var reps []struct {
+		File          string     `json:"file"`
+		Program       string     `json:"program"`
+		Symbols       int        `json:"symbols"`
+		SymbolNames   []string   `json:"symbol_names"`
+		DispatchRoots int        `json:"dispatch_roots"`
+		Strata        [][]string `json:"strata"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &reps); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("want 1 report, got %d", len(reps))
+	}
+	r := reps[0]
+	if r.File != path || r.Program != "clean" {
+		t.Errorf("report identity = %q / %q", r.File, r.Program)
+	}
+	if r.Symbols == 0 || len(r.SymbolNames) != r.Symbols {
+		t.Errorf("symbols = %d, names = %v", r.Symbols, r.SymbolNames)
+	}
+	if r.DispatchRoots == 0 || len(r.Strata) == 0 {
+		t.Errorf("dispatch_roots = %d, strata = %v", r.DispatchRoots, r.Strata)
+	}
+
+	// Byte-stable across runs, and works against the builtin library.
+	if _, again, _ := runCheck(t, "-facts", path); again != stdout {
+		t.Error("-facts output differs between identical runs")
+	}
+	code, builtins, stderr := runCheck(t, "-facts", "-builtin")
+	if code != 0 {
+		t.Fatalf("-facts -builtin: exit %d (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(builtins, "builtin:") {
+		t.Errorf("-facts -builtin output names no builtin programs:\n%s", builtins)
+	}
+
+	// A syntax error in facts mode is a hard failure, not a report.
+	bad := writeProgram(t, "bad.yatl", "program p\nrule R {")
+	if code, _, _ := runCheck(t, "-facts", bad); code != 2 {
+		t.Errorf("-facts on unparseable file: exit %d, want 2", code)
+	}
+}
+
 func TestMissingFileExitsTwo(t *testing.T) {
 	if code, _, _ := runCheck(t, filepath.Join(t.TempDir(), "nope.yatl")); code != 2 {
 		t.Errorf("missing file: exit %d, want 2", code)

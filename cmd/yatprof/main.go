@@ -18,6 +18,12 @@
 //	-timing       include wall-clock times (off by default so output
 //	              is deterministic and diffable)
 //	-parallelism  worker count for the run (0 = sequential)
+//	-optimize     run under precomputed program facts (head-symbol
+//	              dispatch, pruned slices); the profile gains an
+//	              `analysis:` line naming the facts in force. Counts
+//	              and outputs are identical either way — mediator
+//	              queries (-ask) always run optimized, like the
+//	              serving layer
 //	-ask          profile a mediator query (YATL pattern) instead of a
 //	              full conversion
 //	-functors     comma-separated Skolem functors restricting -ask
@@ -63,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonFlag    = fs.Bool("json", false, "emit the profile as JSON")
 		timingFlag  = fs.Bool("timing", false, "include wall-clock times in the profile")
 		parFlag     = fs.Int("parallelism", 0, "worker count for the run (0 = sequential)")
+		optFlag     = fs.Bool("optimize", false, "run under precomputed program facts (EXPLAIN gains the analysis line)")
 		askFlag     = fs.String("ask", "", "profile a mediator query (YATL pattern) instead of a run")
 		funcFlag    = fs.String("functors", "", "comma-separated Skolem functors restricting -ask")
 		demandFlag  = fs.Bool("demand", false, "answer -ask demand-driven (slice + per-rule cache)")
@@ -136,10 +143,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "answers: %d\n", len(answers))
 		}
 	} else {
-		var result *yat.Result
-		result, err = yat.Run(prog, inputs,
+		opts := []yat.Option{
 			yat.WithTrace(profile),
-			yat.WithParallelism(*parFlag))
+			yat.WithParallelism(*parFlag),
+		}
+		if *optFlag {
+			opts = append(opts, yat.WithFacts(yat.AnalyzeProgram(prog)))
+		}
+		var result *yat.Result
+		result, err = yat.Run(prog, inputs, opts...)
 		warnings = warningsOf(result)
 	}
 	// A failed run still has a profile worth printing (it shows how

@@ -199,3 +199,34 @@ func TestFaultRequiresAsk(t *testing.T) {
 		t.Fatalf("exit %d, stderr: %s; want usage error mentioning -ask", code, errOut)
 	}
 }
+
+// TestOptimizeFlag: -optimize adds the analysis line to the profile
+// and changes nothing else — per-rule counts are identical because the
+// dispatch index only skips rules that could never have matched.
+func TestOptimizeFlag(t *testing.T) {
+	input := brochureFile(t)
+	code, plain, errOut := runProf(t, "-program", "sgml2odmg", "-input", input)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if strings.Contains(plain, "analysis:") {
+		t.Errorf("unoptimized profile carries an analysis line:\n%s", plain)
+	}
+	code, opt, errOut := runProf(t, "-program", "sgml2odmg", "-input", input, "-optimize")
+	if code != 0 {
+		t.Fatalf("-optimize: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(opt, "analysis: syms=") {
+		t.Fatalf("-optimize profile missing the analysis line:\n%s", opt)
+	}
+	var stripped []string
+	for _, line := range strings.Split(opt, "\n") {
+		if strings.HasPrefix(line, "analysis:") {
+			continue
+		}
+		stripped = append(stripped, line)
+	}
+	if got := strings.Join(stripped, "\n"); got != plain {
+		t.Errorf("-optimize changed the profile beyond the analysis line:\n got:\n%s\nwant:\n%s", got, plain)
+	}
+}

@@ -17,6 +17,7 @@ package analysis
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -116,6 +117,7 @@ type Pass struct {
 	Registry *engine.Registry
 
 	diags *[]Diagnostic
+	facts map[reflect.Type]Fact
 }
 
 // Report records a diagnostic; an empty Category defaults to the
@@ -151,8 +153,9 @@ func Run(prog *yatl.Program, analyzers []*Analyzer, opts *Options) ([]Diagnostic
 		reg = engine.NewRegistry()
 	}
 	var diags []Diagnostic
+	facts := map[reflect.Type]Fact{}
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Prog: prog, Registry: reg, diags: &diags}
+		pass := &Pass{Analyzer: a, Prog: prog, Registry: reg, diags: &diags, facts: facts}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
 		}
@@ -214,7 +217,10 @@ func AtLeast(diags []Diagnostic, min Severity) int {
 }
 
 // DefaultAnalyzers returns every analyzer of the framework: the eight
-// syntactic checks plus the safety, typing and coverage adapters.
+// syntactic checks, the safety, typing and coverage adapters, and the
+// fact-producing optimizer passes (symtab, dispatch and strata export
+// facts; deadrule consumes them and reports the statically-dead
+// rules). Producers precede consumers; Run executes in order.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		RangeRestriction,
@@ -228,6 +234,10 @@ func DefaultAnalyzers() []*Analyzer {
 		Safety,
 		Typing,
 		Coverage,
+		Interning,
+		Dispatch,
+		Strata,
+		DeadRule,
 	}
 }
 

@@ -42,6 +42,7 @@ var fixtureWants = map[string][]want{
 	"pred_sanity.yatl": {
 		{"pred-sanity", 6, 9, SeverityError},   // ordering compare on a structural var
 		{"pred-sanity", 7, 9, SeverityWarning}, // 1 == 2 compares two constants
+		{"deadrule", 7, 9, SeverityWarning},    // ... so the rule can never fire
 	},
 	"collection_order.yatl": {
 		{"collection", 4, 20, SeverityError}, // criterion Z not below the ordered edge
@@ -60,6 +61,18 @@ var fixtureWants = map[string][]want{
 	},
 	"coverage_gap.yatl": {
 		{"coverage", 3, 7, SeverityInfo}, // model pattern Memo matched by no rule
+	},
+	"unreachable_cycle.yatl": {
+		{"deadrule", 13, 6, SeverityWarning}, // CycA only demanded by CycB
+		{"deadrule", 18, 6, SeverityWarning}, // CycB only demanded by CycA
+	},
+	"label_functor.yatl": {
+		{"pred-sanity", 11, 9, SeverityWarning}, // 1 == 2 compares two constants
+		{"deadrule", 11, 9, SeverityWarning},    // ... so ViewB can never fire
+	},
+	"skolem_label_collision.yatl": {
+		{"pred-sanity", 11, 9, SeverityWarning}, // 2 < 1 compares two constants
+		{"deadrule", 11, 9, SeverityWarning},    // ... so Dead can never fire
 	},
 }
 

@@ -1,0 +1,224 @@
+// The Facts system: typed values computed by one analyzer and
+// consumed by later ones in the same Run, mirroring go/analysis
+// facts. A fact producer calls Pass.ExportFact once; a consumer calls
+// Pass.ImportFact with a pointer to a zero fact of the wanted type
+// and receives a copy. Facts are keyed by concrete type, are scoped
+// to one driver Run (one program), and never outlive it — reanalysis
+// after a reload starts from an empty fact table.
+//
+// The optimizer passes live here too. One engine.AnalyzeProgram call
+// feeds all of them: Interning exports the symbol table, Dispatch the
+// head-symbol index, Strata the evaluation order, and DeadRule — the
+// only one that speaks — reports the statically-dead rules. The first
+// pass to need the engine facts computes and exports them, so the
+// expensive analysis runs exactly once per driver Run no matter how
+// many passes consume it.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+
+	"yat/internal/engine"
+	"yat/internal/yatl"
+)
+
+// Fact is a typed value flowing between analyzers in one driver Run.
+// Implementations are pointer types; AFact is a marker method.
+type Fact interface{ AFact() }
+
+// ExportFact publishes a fact for later analyzers in the same Run.
+// One fact per concrete type: a second export of the same type
+// replaces the first.
+func (p *Pass) ExportFact(f Fact) {
+	if p.facts == nil {
+		p.facts = map[reflect.Type]Fact{}
+	}
+	p.facts[reflect.TypeOf(f)] = f
+}
+
+// ImportFact copies the fact of ptr's type into *ptr and reports
+// whether one was exported. ptr must be a non-nil pointer to a fact
+// value, exactly as exported (a *SymbolsFact imports a *SymbolsFact).
+func (p *Pass) ImportFact(ptr Fact) bool {
+	f, ok := p.facts[reflect.TypeOf(ptr)]
+	if !ok {
+		return false
+	}
+	v := reflect.ValueOf(ptr).Elem()
+	v.Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// ProgramFactsFact carries the engine's full optimizer facts — the
+// shared substrate the individual optimizer passes project from.
+type ProgramFactsFact struct{ Facts *engine.ProgramFacts }
+
+// AFact marks ProgramFactsFact as a Fact.
+func (*ProgramFactsFact) AFact() {}
+
+// SymbolsFact carries the program's interned symbol table.
+type SymbolsFact struct {
+	// Count is the number of distinct symbols.
+	Count int
+	// Names lists the symbols in sorted order.
+	Names []string
+}
+
+// AFact marks SymbolsFact as a Fact.
+func (*SymbolsFact) AFact() {}
+
+// DispatchFact summarizes the head-symbol dispatch index.
+type DispatchFact struct {
+	// Roots is the number of distinct root symbols indexed; zero when
+	// dispatch is disabled (duplicate rule names).
+	Roots int
+	// Enabled reports whether the index was built at all.
+	Enabled bool
+}
+
+// AFact marks DispatchFact as a Fact.
+func (*DispatchFact) AFact() {}
+
+// StrataFact carries the dependency stratification: each stratum is
+// one strongly-connected component of the functor demand graph,
+// dependencies before dependents.
+type StrataFact struct{ Strata [][]string }
+
+// AFact marks StrataFact as a Fact.
+func (*StrataFact) AFact() {}
+
+// programFacts returns the engine facts for the pass's program,
+// computing and exporting them on first need so every later pass
+// reuses the same analysis.
+func programFacts(pass *Pass) *engine.ProgramFacts {
+	var pf ProgramFactsFact
+	if pass.ImportFact(&pf) {
+		return pf.Facts
+	}
+	f := engine.AnalyzeProgram(pass.Prog)
+	pass.ExportFact(&ProgramFactsFact{Facts: f})
+	return f
+}
+
+// Interning is the symbol-interning pass: it computes the engine
+// facts (once per Run) and exports the dense symbol table. It reports
+// nothing — interning cannot fail, only inform.
+var Interning = &Analyzer{
+	Name: "symtab",
+	Doc:  "intern every label, functor and Skolem name into a dense symbol table (fact producer)",
+	Run: func(pass *Pass) error {
+		f := programFacts(pass)
+		pass.ExportFact(&SymbolsFact{Count: f.Syms.Len(), Names: f.Syms.Names()})
+		return nil
+	},
+}
+
+// Dispatch is the head-symbol dispatch pass: it exports the index
+// summary the engine's match phase uses to skip rules. Silent.
+var Dispatch = &Analyzer{
+	Name: "dispatch",
+	Doc:  "build the head-symbol dispatch index over interned symbols (fact producer)",
+	Run: func(pass *Pass) error {
+		f := programFacts(pass)
+		fact := &DispatchFact{Enabled: f.Dispatch != nil}
+		if f.Dispatch != nil {
+			fact.Roots = f.Dispatch.Roots()
+		}
+		pass.ExportFact(fact)
+		return nil
+	},
+}
+
+// Strata is the stratification pass: it exports the functor
+// evaluation order (dependencies first). Silent — cycles are legal;
+// the safety analyzer owns the illegal ones.
+var Strata = &Analyzer{
+	Name: "strata",
+	Doc:  "stratify the functor groups by demand dependency (fact producer)",
+	Run: func(pass *Pass) error {
+		f := programFacts(pass)
+		pass.ExportFact(&StrataFact{Strata: f.Strata})
+		return nil
+	},
+}
+
+// DeadRule reports the statically-dead rules: rules whose constant
+// predicates can never hold, positioned on the offending predicate,
+// and rules unreachable from every root functor, positioned on the
+// rule name. Both are warnings — a dead rule is legal, just inert.
+var DeadRule = &Analyzer{
+	Name: "deadrule",
+	Doc:  "report rules that can never fire and rules unreachable from any root functor",
+	Run: func(pass *Pass) error {
+		f := programFacts(pass)
+		byName := map[string]*yatl.Rule{}
+		for _, r := range pass.Prog.Rules {
+			byName[r.Name] = r
+		}
+		for _, name := range f.NeverFire {
+			r := byName[name]
+			if r == nil {
+				continue
+			}
+			pos := r.Pos
+			if i := engine.DeadPredIndex(r); i >= 0 {
+				pos = r.Preds[i].Pos
+			}
+			pass.Reportf(pos, SeverityWarning,
+				"rule %s can never fire: this predicate is always false", name)
+		}
+		for _, name := range f.Unreachable {
+			r := byName[name]
+			if r == nil {
+				continue
+			}
+			pass.Reportf(r.Pos, SeverityWarning,
+				"rule %s is unreachable: no root functor demands its outputs", name)
+		}
+		return nil
+	},
+}
+
+// FactsReport is the JSON document behind `yatcheck -facts`: every
+// fact the optimizer passes compute, in a stable, renderable shape.
+type FactsReport struct {
+	Program       string     `json:"program"`
+	Symbols       int        `json:"symbols"`
+	SymbolNames   []string   `json:"symbol_names"`
+	DispatchRoots int        `json:"dispatch_roots"`
+	NeverFire     []string   `json:"never_fire,omitempty"`
+	Unreachable   []string   `json:"unreachable,omitempty"`
+	Strata        [][]string `json:"strata"`
+}
+
+// ReportFacts computes the optimizer facts for a program and shapes
+// them for reporting. Deterministic: two calls over the same source
+// render byte-identical JSON.
+func ReportFacts(prog *yatl.Program) *FactsReport {
+	f := engine.AnalyzeProgram(prog)
+	rep := &FactsReport{
+		Program:     prog.Name,
+		Symbols:     f.Syms.Len(),
+		SymbolNames: f.Syms.Names(),
+		NeverFire:   f.NeverFire,
+		Unreachable: f.Unreachable,
+		Strata:      f.Strata,
+	}
+	if f.Dispatch != nil {
+		rep.DispatchRoots = f.Dispatch.Roots()
+	}
+	return rep
+}
+
+// JSON renders the report as indented JSON.
+func (r *FactsReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders the report as the one-line summary EXPLAIN uses.
+func (r *FactsReport) String() string {
+	return fmt.Sprintf("syms=%d dispatch-roots=%d dead-rules=%d unreachable=%d strata=%d",
+		r.Symbols, r.DispatchRoots, len(r.NeverFire), len(r.Unreachable), len(r.Strata))
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"yat/internal/yatl"
+)
+
+// TestFactFlow pins the facts plumbing: a producer's export is
+// visible to every later pass in the same Run, and a fresh Run starts
+// from an empty table.
+func TestFactFlow(t *testing.T) {
+	prog, err := yatl.Parse("program p" + yatl.Rule1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syms SymbolsFact
+	var disp DispatchFact
+	var strata StrataFact
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "test-only fact consumer",
+		Run: func(pass *Pass) error {
+			if !pass.ImportFact(&syms) {
+				t.Error("SymbolsFact not exported")
+			}
+			if !pass.ImportFact(&disp) {
+				t.Error("DispatchFact not exported")
+			}
+			if !pass.ImportFact(&strata) {
+				t.Error("StrataFact not exported")
+			}
+			return nil
+		},
+	}
+	if _, err := Run(prog, append(DefaultAnalyzers(), probe), nil); err != nil {
+		t.Fatal(err)
+	}
+	if syms.Count == 0 || len(syms.Names) != syms.Count {
+		t.Errorf("symbols fact = %+v", syms)
+	}
+	if !disp.Enabled || disp.Roots == 0 {
+		t.Errorf("dispatch fact = %+v", disp)
+	}
+	if len(strata.Strata) == 0 {
+		t.Errorf("strata fact = %+v", strata)
+	}
+
+	// A consumer running before any producer sees nothing.
+	empty := &Analyzer{
+		Name: "empty-probe",
+		Doc:  "test-only early consumer",
+		Run: func(pass *Pass) error {
+			var f SymbolsFact
+			if pass.ImportFact(&f) {
+				t.Error("fact visible before any producer ran")
+			}
+			return nil
+		},
+	}
+	if _, err := Run(prog, []*Analyzer{empty}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadRuleSharesOneAnalysis: the four optimizer passes must share
+// one engine.AnalyzeProgram result via the ProgramFactsFact, not
+// recompute it per pass.
+func TestDeadRuleSharesOneAnalysis(t *testing.T) {
+	prog := parseFile(t, filepath.Join("testdata", "unreachable_cycle.yatl"))
+	var pf1, pf2 ProgramFactsFact
+	grab := func(dst *ProgramFactsFact) *Analyzer {
+		return &Analyzer{
+			Name: "grab",
+			Doc:  "test-only fact grabber",
+			Run: func(pass *Pass) error {
+				pass.ImportFact(dst)
+				return nil
+			},
+		}
+	}
+	// Two grabbers at different points in the pipeline see the same
+	// underlying facts pointer.
+	as := []*Analyzer{Interning, grab(&pf1), Dispatch, Strata, DeadRule, grab(&pf2)}
+	if _, err := Run(prog, as, nil); err != nil {
+		t.Fatal(err)
+	}
+	if pf1.Facts == nil || pf1.Facts != pf2.Facts {
+		t.Error("optimizer passes did not share one AnalyzeProgram result")
+	}
+}
+
+func TestReportFactsDeterministic(t *testing.T) {
+	prog := parseFile(t, filepath.Join("testdata", "unreachable_cycle.yatl"))
+	a, err := ReportFacts(prog).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReportFacts(prog).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("facts JSON unstable:\n%s\nvs\n%s", a, b)
+	}
+	rep := ReportFacts(prog)
+	if len(rep.Unreachable) != 2 || rep.Unreachable[0] != "CycA" {
+		t.Errorf("unreachable = %v", rep.Unreachable)
+	}
+	if rep.Symbols == 0 || rep.DispatchRoots == 0 || len(rep.Strata) == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("empty summary")
+	}
+}

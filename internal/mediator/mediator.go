@@ -114,7 +114,7 @@ type generation struct {
 	err    error
 }
 
-func (g *generation) materialize(ctx context.Context, m *Mediator, prog *yatl.Program) (*engine.Result, error) {
+func (g *generation) materialize(ctx context.Context, m *Mediator, st *progState) (*engine.Result, error) {
 	g.once.Do(func() {
 		inputs, err := m.fetchInputs(ctx)
 		if err != nil {
@@ -122,7 +122,9 @@ func (g *generation) materialize(ctx context.Context, m *Mediator, prog *yatl.Pr
 			g.done.Store(true)
 			return
 		}
-		g.result, g.err = engine.RunContext(ctx, prog, inputs, m.opts)
+		// The facts option rides after m.opts (later options win), so a
+		// legacy *Options value in m.opts cannot erase it.
+		g.result, g.err = engine.RunContext(ctx, st.prog, inputs, m.opts, engine.WithFacts(st.facts))
 		g.done.Store(true)
 	})
 	return g.result, g.err
@@ -139,7 +141,21 @@ type progState struct {
 	gen  *generation
 	// dgen is the demand-driven cache, nil unless WithDemandDriven.
 	dgen *demandGen
-	num  int64
+	// facts is the optimizer analysis of prog (engine.AnalyzeProgram),
+	// computed once per program lifetime at construction/reload time.
+	// Invalidate reuses it (same program value); Reload recomputes.
+	facts *engine.ProgramFacts
+	num   int64
+}
+
+// sliceFor computes the (pruned, memoized) slice for the functors
+// through the program facts; the single-functor probe — the demand
+// cache-hit path — allocates nothing after its first call.
+func (st *progState) sliceFor(functors ...string) *engine.Slice {
+	if st.facts != nil {
+		return st.facts.SliceFor(functors...)
+	}
+	return engine.ComputeSlice(st.prog, functors...)
 }
 
 // demandGen is one demand-driven cache lifetime: a per-rule memo of
@@ -157,6 +173,12 @@ type demandGen struct {
 	// ruleEntries lists each cached rule's committed entries, the
 	// exact set to evict when the rule is invalidated.
 	ruleEntries map[string][]tree.StoreEntry
+	// byFunctor indexes the store's entries by Skolem functor, so the
+	// single-functor ask — the demand cache-hit path — snapshots its
+	// entries without walking the whole store. Buckets are replaced,
+	// never mutated in place, when an existing entry changes: a query
+	// holding an old bucket keeps a consistent view.
+	byFunctor map[string][]tree.StoreEntry
 	// ruleSources records, per slice rule (construct and support), the
 	// keys of source inputs that directly matched it — the dependency
 	// data behind InvalidateSource.
@@ -177,16 +199,73 @@ type demandGen struct {
 	// generation (no finer dependency record exists — an absent source
 	// matched nothing).
 	degraded map[string]bool
+	// version counts cache mutations (entry puts and evictions). The
+	// ask memo below tags its writes with the version the answers were
+	// derived from and refuses stale ones, so an ask racing a cache
+	// fill can never memoize answers the fill just outdated.
+	version uint64
+	// askMemo caches the fully-assembled answers of completed
+	// demand-mode asks, keyed by pattern identity and functor list:
+	// the warm repeat of an identical ask skips matching entirely and
+	// returns a copy of the memoized slice. Cleared on every cache
+	// mutation; dies with the generation like every other memo here.
+	askMemo map[askKey][]Answer
 }
+
+// askKey identifies one memoizable ask: the parsed pattern (by
+// pointer — Ask's pattern parse cache hands back a stable *PTree per
+// source text) and the functor restriction.
+type askKey struct {
+	pt       *pattern.PTree
+	functors string
+}
+
+// maxAskMemo bounds the ask memo; at the cap new asks simply stop
+// memoizing until an invalidation clears the map.
+const maxAskMemo = 512
 
 func newDemandGen() *demandGen {
 	return &demandGen{
 		store:       tree.NewStore(),
 		cached:      map[string]bool{},
 		ruleEntries: map[string][]tree.StoreEntry{},
+		byFunctor:   map[string][]tree.StoreEntry{},
 		ruleSources: map[string]map[string]bool{},
 		degraded:    map[string]bool{},
+		askMemo:     map[askKey][]Answer{},
 	}
+}
+
+// lookupAsk serves a memoized ask. The hit returns a fresh slice
+// header over copied elements so a caller appending to its result
+// cannot disturb the memo; the Name trees and Bindings inside are
+// shared, as they are between any two asks over one cache.
+func (g *demandGen) lookupAsk(key askKey) ([]Answer, bool) {
+	g.mu.Lock()
+	memo, ok := g.askMemo[key]
+	g.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if len(memo) == 0 {
+		return nil, true
+	}
+	out := make([]Answer, len(memo))
+	copy(out, memo)
+	return out, true
+}
+
+// storeAsk memoizes a completed ask's answers, unless the cache
+// mutated since the snapshot the answers were derived from.
+func (g *demandGen) storeAsk(key askKey, out []Answer, version uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.version != version || len(g.askMemo) >= maxAskMemo {
+		return
+	}
+	memo := make([]Answer, len(out))
+	copy(memo, out)
+	g.askMemo[key] = memo
 }
 
 // Mediator answers queries over the virtual target of a conversion.
@@ -226,7 +305,8 @@ type Mediator struct {
 // (a legacy *engine.Options value also works: it satisfies
 // engine.Option); WithDemandDriven selects the evaluation strategy.
 func New(prog *yatl.Program, inputs *tree.Store, opts ...engine.Option) *Mediator {
-	m := &Mediator{inputs: inputs, cur: &progState{prog: prog, gen: &generation{}, num: 1}}
+	m := &Mediator{inputs: inputs, cur: &progState{
+		prog: prog, gen: &generation{}, facts: engine.AnalyzeProgram(prog), num: 1}}
 	var eng []engine.Option
 	for _, o := range opts {
 		switch o := o.(type) {
@@ -358,7 +438,7 @@ func (m *Mediator) fetchInputs(ctx context.Context) (*tree.Store, error) {
 func (m *Mediator) materialize(ctx context.Context, st *progState) (*engine.Result, bool, error) {
 	g := st.gen
 	warm := g.done.Load()
-	res, err := g.materialize(ctx, m, st.prog)
+	res, err := g.materialize(ctx, m, st)
 	if err == nil && !warm {
 		m.mu.Lock()
 		// Only credit the generation still current: a stale run
@@ -389,12 +469,39 @@ func (m *Mediator) Ask(patternSrc string, functors ...string) ([]Answer, error) 
 	return m.AskContext(nil, patternSrc, functors...)
 }
 
+// patCache memoizes parsed query patterns by source text, shared by
+// every mediator in the process (a parse is pure syntax). Capped so a
+// client generating unbounded distinct patterns cannot exhaust
+// memory; patterns past the cap parse uncached.
+var (
+	patCache     sync.Map // string -> *pattern.PTree
+	patCacheSize atomic.Int64
+)
+
+const maxPatCache = 4096
+
+func parsePatternCached(src string) (*pattern.PTree, error) {
+	if v, ok := patCache.Load(src); ok {
+		return v.(*pattern.PTree), nil
+	}
+	pt, err := yatl.ParsePattern(src)
+	if err != nil {
+		return nil, err
+	}
+	if patCacheSize.Load() < maxPatCache {
+		if _, loaded := patCache.LoadOrStore(src, pt); !loaded {
+			patCacheSize.Add(1)
+		}
+	}
+	return pt, nil
+}
+
 // AskContext is Ask with a cancellation context applied to any engine
 // run the query triggers.
 func (m *Mediator) AskContext(ctx context.Context, patternSrc string, functors ...string) ([]Answer, error) {
 	start := time.Now()
 	m.asks.Add(1)
-	pt, err := yatl.ParsePattern(patternSrc)
+	pt, err := parsePatternCached(patternSrc)
 	if err != nil {
 		// A parse failure is still an ask (Asks and AskTime cover it)
 		// but it never consulted the cache, so it is neither a hit nor
@@ -425,12 +532,41 @@ func (m *Mediator) AskPatternContext(ctx context.Context, pt *pattern.PTree, fun
 // materialization, a miss whenever engine work ran or was awaited,
 // errors included.
 func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.PTree, functors []string) ([]Answer, error) {
-	defer func() { m.askNanos.Add(time.Since(start).Nanoseconds()) }()
+	// No defer: the closure it would capture allocates on every ask,
+	// and the demand cache-hit path budgets its allocations.
+	out, err := m.doAsk(ctx, pt, functors)
+	m.askNanos.Add(time.Since(start).Nanoseconds())
+	return out, err
+}
+
+// storelessMatcher serves every demand-mode ask. The demand store may
+// gain entries concurrently; with no model, conformance (the only
+// store consumer) is skipped, so a storeless matcher is exactly the
+// full-mode matcher — and with no per-ask state it is shared safely.
+var storelessMatcher = &engine.Matcher{}
+
+func (m *Mediator) doAsk(ctx context.Context, pt *pattern.PTree, functors []string) ([]Answer, error) {
 	st := m.state()
 	var entries []tree.StoreEntry
 	var matcher *engine.Matcher
+	var memoGen *demandGen
+	var memoKey askKey
+	var memoVer uint64
 	if m.demand {
-		es, hit, err := m.ensureDemand(ctx, st, functors)
+		g := st.dgen
+		if m.opts.Trace == nil {
+			// The repeat of an identical ask skips matching entirely.
+			// Traced asks bypass the memo in both directions: EXPLAIN
+			// exists to show the slice and per-rule cache decisions,
+			// which a memoized answer would hide.
+			memoKey = askKey{pt: pt, functors: strings.Join(functors, "\x00")}
+			if out, ok := g.lookupAsk(memoKey); ok {
+				m.cacheHits.Add(1)
+				return out, nil
+			}
+			memoGen = g
+		}
+		es, hit, ver, err := m.ensureDemand(ctx, st, functors)
 		if err != nil {
 			m.cacheMiss.Add(1)
 			return nil, err
@@ -441,10 +577,8 @@ func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.
 			m.cacheMiss.Add(1)
 		}
 		entries = es
-		// The demand store may gain entries concurrently; with no
-		// model, conformance (the only store consumer) is skipped, so
-		// a storeless matcher is exactly the full-mode matcher.
-		matcher = &engine.Matcher{}
+		matcher = storelessMatcher
+		memoVer = ver
 	} else {
 		res, warm, err := m.materialize(ctx, st)
 		if err != nil {
@@ -476,12 +610,17 @@ func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.
 			out = append(out, Answer{Name: e.Name, Binding: b})
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if k := out[i].Name.Key(); k != out[j].Name.Key() {
-			return k < out[j].Name.Key()
-		}
-		return out[i].Binding.Key() < out[j].Binding.Key()
-	})
+	if len(out) > 1 {
+		sort.SliceStable(out, func(i, j int) bool {
+			if k := out[i].Name.Key(); k != out[j].Name.Key() {
+				return k < out[j].Name.Key()
+			}
+			return out[i].Binding.Key() < out[j].Binding.Key()
+		})
+	}
+	if memoGen != nil {
+		memoGen.storeAsk(memoKey, out, memoVer)
+	}
 	return out, nil
 }
 
@@ -489,14 +628,15 @@ func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.
 // given functors (none = the whole program) is cached, running the
 // engine over the missing sub-slice when necessary. It returns a
 // consistent snapshot of the cached entries restricted to the
-// requested functors, and whether the query was served entirely from
-// cache.
-func (m *Mediator) ensureDemand(ctx context.Context, st *progState, functors []string) ([]tree.StoreEntry, bool, error) {
+// requested functors, whether the query was served entirely from
+// cache, and the cache version the snapshot was taken at (for the
+// ask memo's stale-write guard).
+func (m *Mediator) ensureDemand(ctx context.Context, st *progState, functors []string) ([]tree.StoreEntry, bool, uint64, error) {
 	g := st.dgen
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
-	ask := engine.ComputeSlice(st.prog, functors...)
+	ask := st.sliceFor(functors...)
 	var missing []*yatl.Rule
 	for _, r := range ask.Construct {
 		if !g.cached[r.Name] {
@@ -528,13 +668,13 @@ func (m *Mediator) ensureDemand(ctx context.Context, st *progState, functors []s
 		inputs, err := m.fetchInputs(ctx)
 		if err != nil {
 			g.lastErr = err
-			return nil, false, err
+			return nil, false, 0, err
 		}
-		sub := engine.ComputeSlice(st.prog, fs...)
-		res, err := engine.RunSlice(ctx, st.prog, inputs, sub, m.opts)
+		sub := st.sliceFor(fs...)
+		res, err := engine.RunSlice(ctx, st.prog, inputs, sub, m.opts, engine.WithFacts(st.facts))
 		if err != nil {
 			g.lastErr = err
-			return nil, false, err
+			return nil, false, 0, err
 		}
 		g.lastErr = nil
 		// Rules cached from a degraded fetch silently lack the failed
@@ -556,7 +696,7 @@ func (m *Mediator) ensureDemand(ctx context.Context, st *progState, functors []s
 			g.cached[r.Name] = true
 			g.ruleEntries[r.Name] = res.RuleOutputs[r.Name]
 			for _, e := range res.RuleOutputs[r.Name] {
-				g.store.Put(e.Name, e.Tree)
+				g.put(e.Name, e.Tree)
 			}
 		}
 		for rule, srcs := range res.RuleSources {
@@ -570,6 +710,13 @@ func (m *Mediator) ensureDemand(ctx context.Context, st *progState, functors []s
 			}
 		}
 	}
+	if len(functors) == 1 {
+		// The bucket slice is handed out directly: later cache fills
+		// replace buckets rather than mutating them, so the caller's
+		// view stays consistent without a copy — the cache-hit path
+		// allocates nothing here.
+		return g.byFunctor[functors[0]], len(missing) == 0, g.version, nil
+	}
 	want := map[string]bool{}
 	for _, f := range functors {
 		want[f] = true
@@ -581,7 +728,34 @@ func (m *Mediator) ensureDemand(ctx context.Context, st *progState, functors []s
 		}
 		out = append(out, e)
 	}
-	return out, len(missing) == 0, nil
+	return out, len(missing) == 0, g.version, nil
+}
+
+// put commits one entry to the assembled store and its functor index.
+// Must hold g.mu. A replacement rebuilds the functor's bucket instead
+// of mutating it, because snapshot slices of the old bucket may still
+// be matched against outside the lock.
+func (g *demandGen) put(name tree.Name, t *tree.Node) {
+	g.version++
+	if len(g.askMemo) > 0 {
+		clear(g.askMemo)
+	}
+	replaced := g.store.Put(name, t)
+	f := name.Functor
+	if !replaced {
+		g.byFunctor[f] = append(g.byFunctor[f], tree.StoreEntry{Name: name, Tree: t})
+		return
+	}
+	old := g.byFunctor[f]
+	fresh := make([]tree.StoreEntry, len(old))
+	key := name.Key()
+	for i, e := range old {
+		if e.Name.Key() == key {
+			e.Tree = t
+		}
+		fresh[i] = e
+	}
+	g.byFunctor[f] = fresh
 }
 
 // Get resolves one virtual object by Skolem identity. A demand-driven
@@ -595,7 +769,7 @@ func (m *Mediator) Get(name tree.Name) (*tree.Node, bool, error) {
 func (m *Mediator) GetContext(ctx context.Context, name tree.Name) (*tree.Node, bool, error) {
 	st := m.state()
 	if m.demand {
-		entries, _, err := m.ensureDemand(ctx, st, []string{name.Functor})
+		entries, _, _, err := m.ensureDemand(ctx, st, []string{name.Functor})
 		if err != nil {
 			return nil, false, err
 		}
@@ -622,7 +796,7 @@ func (m *Mediator) Functors() ([]string, error) {
 	st := m.state()
 	var entries []tree.StoreEntry
 	if m.demand {
-		es, _, err := m.ensureDemand(nil, st, nil)
+		es, _, _, err := m.ensureDemand(nil, st, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -764,7 +938,7 @@ func (m *Mediator) demandStats() Stats {
 		Err:         g.lastErr,
 		Generation:  st.num,
 	}
-	full := engine.ComputeSlice(st.prog)
+	full := st.sliceFor()
 	s.Materialized = len(full.Construct) > 0
 	for _, r := range full.Construct {
 		if !g.cached[r.Name] {
@@ -786,7 +960,7 @@ func (m *Mediator) demandStats() Stats {
 // old generation finish against its consistent snapshot.
 func (m *Mediator) Invalidate() {
 	m.mu.Lock()
-	next := &progState{prog: m.cur.prog, gen: &generation{}, num: m.cur.num + 1}
+	next := &progState{prog: m.cur.prog, gen: &generation{}, facts: m.cur.facts, num: m.cur.num + 1}
 	if m.demand {
 		next.dgen = newDemandGen()
 	}
@@ -809,7 +983,7 @@ func (m *Mediator) Reload(prog *yatl.Program) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	old := m.cur
-	next := &progState{prog: prog, gen: &generation{}, num: old.num + 1}
+	next := &progState{prog: prog, gen: &generation{}, facts: engine.AnalyzeProgram(prog), num: old.num + 1}
 	if m.demand {
 		next.dgen = old.dgen.cloneFor(old.prog, prog)
 	}
@@ -951,6 +1125,10 @@ func (g *demandGen) cachedFunctors(prog *yatl.Program) []string {
 // minted by the group's rules carry its functor, so the eviction
 // cannot strand entries another cached group still answers from.
 func (g *demandGen) dropFunctor(prog *yatl.Program, f string) {
+	g.version++
+	if len(g.askMemo) > 0 {
+		clear(g.askMemo)
+	}
 	for _, r := range prog.Rules {
 		if r.Exception || r.Head.Functor != f || !g.cached[r.Name] {
 			continue
@@ -961,4 +1139,7 @@ func (g *demandGen) dropFunctor(prog *yatl.Program, f string) {
 		delete(g.ruleEntries, r.Name)
 		delete(g.cached, r.Name)
 	}
+	// Every entry of the bucket was minted by the functor's own group,
+	// so the whole index bucket goes with it.
+	delete(g.byFunctor, f)
 }

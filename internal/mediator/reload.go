@@ -56,6 +56,12 @@ func (g *demandGen) cloneFor(oldProg, newProg *yatl.Program) *demandGen {
 	// Enumerate and (where needed) evict against the OLD program: the
 	// cached rule names were minted under it, and dropFunctor needs the
 	// program whose rules committed the entries.
+	// The functor index is rebuilt from the cloned store (fresh
+	// buckets: the old generation's snapshots must not alias the new
+	// one's), then trimmed by the evictions below.
+	for _, e := range c.store.Entries() {
+		c.byFunctor[e.Name.Functor] = append(c.byFunctor[e.Name.Functor], e)
+	}
 	for _, f := range c.cachedFunctors(oldProg) {
 		if !sliceUnchanged(oldProg, newProg, f, oldText) {
 			c.dropFunctor(oldProg, f)

@@ -1,0 +1,100 @@
+// Symbol interning: a dense integer symbol table over the label,
+// functor and Skolem-name strings of one program.
+//
+// Interning lives here rather than in internal/tree or
+// internal/engine because pattern is the lowest layer that knows what
+// a "symbol worth interning" is: tree holds arbitrary runtime values
+// (most of which are data, not schema), while engine and analysis
+// both consume patterns and must agree on one table. A SymTab is
+// built once per parsed program, is immutable afterwards, and its
+// dense int32 codes index bitsets and dispatch tables downstream.
+package pattern
+
+import (
+	"sort"
+
+	"yat/internal/tree"
+)
+
+// Sym is a dense interned symbol code. Codes are assigned in
+// insertion order starting at 0; NoSym marks "not in the table".
+type Sym int32
+
+// NoSym is returned by Lookup for strings never interned.
+const NoSym Sym = -1
+
+// SymTab is an append-only interning table. It is not safe for
+// concurrent mutation; the intended life cycle is build-once at
+// parse/analysis time, then concurrent read-only lookups.
+type SymTab struct {
+	ids   map[string]Sym
+	names []string
+}
+
+// NewSymTab returns an empty table.
+func NewSymTab() *SymTab {
+	return &SymTab{ids: make(map[string]Sym)}
+}
+
+// Intern returns the code for name, assigning the next dense code on
+// first sight.
+func (t *SymTab) Intern(name string) Sym {
+	if s, ok := t.ids[name]; ok {
+		return s
+	}
+	s := Sym(len(t.names))
+	t.ids[name] = s
+	t.names = append(t.names, name)
+	return s
+}
+
+// Lookup returns the code for name, or NoSym if it was never
+// interned. Safe for concurrent use once the table is built.
+func (t *SymTab) Lookup(name string) Sym {
+	if s, ok := t.ids[name]; ok {
+		return s
+	}
+	return NoSym
+}
+
+// Name returns the string for a code. Codes outside the table return
+// the empty string.
+func (t *SymTab) Name(s Sym) string {
+	if s < 0 || int(s) >= len(t.names) {
+		return ""
+	}
+	return t.names[int(s)]
+}
+
+// Len returns the number of interned symbols.
+func (t *SymTab) Len() int { return len(t.names) }
+
+// Names returns the interned strings in sorted order (for stable
+// reports; the dense codes themselves follow insertion order).
+func (t *SymTab) Names() []string {
+	out := append([]string(nil), t.names...)
+	sort.Strings(out)
+	return out
+}
+
+// InternTree interns every Const symbol label in a pattern tree, plus
+// the name of every pattern reference. Var labels bind at match time
+// and contribute nothing static.
+func (t *SymTab) InternTree(p *PTree) {
+	if p == nil {
+		return
+	}
+	p.Walk(func(n *PTree) bool {
+		switch l := n.Label.(type) {
+		case Const:
+			// Only symbol constants are schema; strings, ints and
+			// other data atoms are runtime values and stay out.
+			if sym, ok := l.Value.(tree.Symbol); ok {
+				t.Intern(string(sym))
+			}
+		case PatRef:
+			t.Intern(l.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,84 @@
+package pattern
+
+import (
+	"testing"
+
+	"yat/internal/tree"
+)
+
+func TestSymTabDenseCodes(t *testing.T) {
+	st := NewSymTab()
+	a := st.Intern("brochure")
+	b := st.Intern("supplier")
+	if a != 0 || b != 1 {
+		t.Fatalf("codes not dense from zero: %d, %d", a, b)
+	}
+	if again := st.Intern("brochure"); again != a {
+		t.Errorf("re-interning changed the code: %d != %d", again, a)
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d, want 2", st.Len())
+	}
+	if got := st.Lookup("supplier"); got != b {
+		t.Errorf("Lookup(supplier) = %d, want %d", got, b)
+	}
+	if got := st.Lookup("absent"); got != NoSym {
+		t.Errorf("Lookup(absent) = %d, want NoSym", got)
+	}
+	if st.Name(a) != "brochure" || st.Name(b) != "supplier" {
+		t.Errorf("Name round-trip broken: %q, %q", st.Name(a), st.Name(b))
+	}
+	if st.Name(NoSym) != "" || st.Name(99) != "" {
+		t.Error("out-of-range Name should return empty string")
+	}
+}
+
+// TestSymTabDistinguishesSameTextAcrossRoles pins the core interning
+// invariant: the same text always gets the same code (codes identify
+// strings, not occurrences), and two different texts never collide —
+// even when one names a label and the other a pattern reference.
+func TestSymTabDistinguishesSameTextAcrossRoles(t *testing.T) {
+	st := NewSymTab()
+	label := st.Intern("name")
+	ref := st.Intern("Pcar")
+	if label == ref {
+		t.Fatal("distinct strings interned to the same code")
+	}
+	// Same text used both as a label and a functor: one code.
+	if st.Intern("Pcar") != ref {
+		t.Error("functor text re-interned to a new code")
+	}
+}
+
+func TestInternTree(t *testing.T) {
+	st := NewSymTab()
+	p := NewSym("brochure",
+		One(NewSym("name", One(NewVar("N", Domain{})))),
+		Star(NewPatRef("Psup", true, VarArg("S"))),
+		One(NewConst(tree.String("literal"))),
+	)
+	st.InternTree(p)
+	for _, want := range []string{"brochure", "name", "Psup"} {
+		if st.Lookup(want) == NoSym {
+			t.Errorf("%q not interned", want)
+		}
+	}
+	// Data atoms and variables stay out of the table.
+	if st.Lookup("literal") != NoSym {
+		t.Error("string literal was interned as a symbol")
+	}
+	if st.Lookup("N") != NoSym {
+		t.Error("variable name was interned")
+	}
+	st.InternTree(nil) // must not panic
+}
+
+func TestSymTabNamesSorted(t *testing.T) {
+	st := NewSymTab()
+	st.Intern("zeta")
+	st.Intern("alpha")
+	names := st.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("Names() = %v, want sorted [alpha zeta]", names)
+	}
+}

@@ -137,6 +137,10 @@ const (
 	// snapshot while a refresh ran; Detail is the source name,
 	// Duration the snapshot's age.
 	KindStaleServed
+	// KindAnalysis announces that the run uses precomputed program
+	// facts (engine.AnalyzeProgram); Detail is the facts summary —
+	// symbol-table size, dispatch roots, dead rules, strata.
+	KindAnalysis
 )
 
 func (k Kind) String() string {
@@ -173,6 +177,8 @@ func (k Kind) String() string {
 		return "breaker-open"
 	case KindStaleServed:
 		return "stale-served"
+	case KindAnalysis:
+		return "analysis"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -273,6 +279,9 @@ type Profile struct {
 	// the rules they ran.
 	slices     int
 	sliceRules int
+	// analysis holds the facts summary of an optimized run (empty for
+	// unoptimized runs).
+	analysis string
 	// sources aggregates source-layer events per source name.
 	sources map[string]*SourceProfile
 }
@@ -301,6 +310,9 @@ func (p *Profile) Emit(e Event) {
 	case KindSliceComputed:
 		p.slices++
 		p.sliceRules += e.Count
+		return
+	case KindAnalysis:
+		p.analysis = e.Detail
 		return
 	case KindSourceFetch:
 		sp := p.source(e.Detail)
@@ -403,6 +415,14 @@ func (p *Profile) Slices() int {
 	return p.slices
 }
 
+// Analysis returns the facts summary announced by an optimized run
+// (empty for unoptimized runs).
+func (p *Profile) Analysis() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.analysis
+}
+
 // Events returns the total number of events received.
 func (p *Profile) Events() int {
 	p.mu.Lock()
@@ -482,6 +502,7 @@ func (p *Profile) Render(w io.Writer, timing bool) error {
 	p.mu.Lock()
 	program, rounds, pending, wall := p.program, p.rounds, append([]int(nil), p.roundPending...), p.wall
 	slices, sliceRules := p.slices, p.sliceRules
+	analysis := p.analysis
 	p.mu.Unlock()
 
 	name := program
@@ -495,6 +516,9 @@ func (p *Profile) Render(w io.Writer, timing bool) error {
 		fmt.Fprintf(w, "rounds: %d %v  total: %v\n", rounds, pending, wall)
 	} else {
 		fmt.Fprintf(w, "rounds: %d %v\n", rounds, pending)
+	}
+	if analysis != "" {
+		fmt.Fprintf(w, "analysis: %s\n", analysis)
 	}
 	if slices > 0 {
 		fmt.Fprintf(w, "slices: %d rules=%d\n", slices, sliceRules)
@@ -596,6 +620,7 @@ type jsonProfile struct {
 	WallNS       int64        `json:"wall_ns,omitempty"`
 	Slices       int          `json:"slices,omitempty"`
 	SliceRules   int          `json:"slice_rules,omitempty"`
+	Analysis     string       `json:"analysis,omitempty"`
 	Sources      []jsonSource `json:"sources,omitempty"`
 	Rules        []jsonRule   `json:"rules"`
 }
@@ -613,6 +638,7 @@ func (p *Profile) JSON(timing bool) ([]byte, error) {
 		Events:       p.events,
 		Slices:       p.slices,
 		SliceRules:   p.sliceRules,
+		Analysis:     p.analysis,
 	}
 	if timing {
 		doc.WallNS = p.wall.Nanoseconds()

@@ -188,4 +188,41 @@ func TestStringers(t *testing.T) {
 	if KindSkolemDefined.String() != "skolem-defined" || Kind(99).String() != "kind(99)" {
 		t.Error("Kind.String wrong")
 	}
+	if KindAnalysis.String() != "analysis" {
+		t.Error("KindAnalysis.String wrong")
+	}
+}
+
+// TestAnalysisLine: a KindAnalysis event carries the optimizer facts
+// summary into the profile, its text rendering and its JSON document.
+// Profiles from unoptimized runs render no analysis line at all.
+func TestAnalysisLine(t *testing.T) {
+	p := NewProfile()
+	p.Emit(Event{Kind: KindRunStart, Detail: "demo"})
+	p.Emit(Event{Kind: KindAnalysis, Phase: PhaseRun, Detail: "syms=7 dispatch-roots=3 dead-rules=1 unreachable=0 strata=2"})
+	p.Emit(Event{Kind: KindRunEnd, Duration: time.Second})
+	if got := p.Analysis(); got != "syms=7 dispatch-roots=3 dead-rules=1 unreachable=0 strata=2" {
+		t.Errorf("Analysis() = %q", got)
+	}
+	text := p.Text(false)
+	if !strings.Contains(text, "analysis: syms=7 dispatch-roots=3") {
+		t.Errorf("analysis line missing from rendering:\n%s", text)
+	}
+	doc, err := p.JSON(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), `"analysis": "syms=7`) {
+		t.Errorf("analysis missing from JSON:\n%s", doc)
+	}
+
+	bare := NewProfile()
+	bare.Emit(Event{Kind: KindRunStart, Detail: "demo"})
+	bare.Emit(Event{Kind: KindRunEnd})
+	if strings.Contains(bare.Text(false), "analysis:") {
+		t.Errorf("analysis line rendered without a KindAnalysis event:\n%s", bare.Text(false))
+	}
+	if doc, _ := bare.JSON(false); strings.Contains(string(doc), `"analysis"`) {
+		t.Errorf("analysis key present without a KindAnalysis event:\n%s", doc)
+	}
 }
