@@ -1,0 +1,162 @@
+// Package delta computes the difference between two fetches of a
+// source: which named trees appeared, which disappeared, and which
+// changed in place. It is the first stage of the mediator's
+// incremental view maintenance — RefreshSource diffs the previous
+// merged input store against the refreshed one and pushes only the
+// difference through the affected rule slices, instead of dropping
+// every dependent cache entry and re-materializing from scratch.
+//
+// The diff is entry-grained: the unit the engine seeds activations
+// from is a named store entry, so that is the unit the delta
+// evaluation mode consumes. For changed entries the package
+// additionally estimates the size of the changed subtrees (DiffNodes),
+// which feeds the EXPLAIN `delta:` lines but carries no semantic
+// weight.
+package delta
+
+import (
+	"yat/internal/tree"
+)
+
+// Change is one entry present in both stores with different trees.
+type Change struct {
+	Name tree.Name
+	Old  *tree.Node
+	New  *tree.Node
+}
+
+// Delta is the difference from an old store to a new one. Inserted
+// and Changed preserve the new store's entry order and Deleted the old
+// store's — the delta evaluation mode seeds activations from Inserted
+// in order, and the byte-identity argument needs that order to agree
+// with a from-scratch run over the new store.
+type Delta struct {
+	// Inserted lists the entries of new whose names old lacks.
+	Inserted []tree.StoreEntry
+	// Deleted lists the entries of old whose names new lacks.
+	Deleted []tree.StoreEntry
+	// Changed lists the names present in both with unequal trees.
+	Changed []Change
+}
+
+// Diff computes the delta from old to new. A nil store is treated as
+// empty. Entries are compared by name key and deep tree equality.
+func Diff(old, new *tree.Store) *Delta {
+	d := &Delta{}
+	oldKeys := map[string]bool{}
+	if old != nil {
+		for _, e := range old.Entries() {
+			oldKeys[e.Name.Key()] = true
+		}
+	}
+	if new != nil {
+		for _, e := range new.Entries() {
+			if !oldKeys[e.Name.Key()] {
+				d.Inserted = append(d.Inserted, e)
+				continue
+			}
+			prev, _ := old.Get(e.Name)
+			if !prev.Equal(e.Tree) {
+				d.Changed = append(d.Changed, Change{Name: e.Name, Old: prev, New: e.Tree})
+			}
+		}
+	}
+	if old != nil {
+		for _, e := range old.Entries() {
+			if new == nil || !new.Has(e.Name) {
+				d.Deleted = append(d.Deleted, e)
+			}
+		}
+	}
+	return d
+}
+
+// Empty reports whether the two stores were identical.
+func (d *Delta) Empty() bool {
+	return len(d.Inserted) == 0 && len(d.Deleted) == 0 && len(d.Changed) == 0
+}
+
+// InsertOnly reports whether the delta consists purely of new entries
+// — the monotone case the mediator's tier-1 patch path requires.
+func (d *Delta) InsertOnly() bool {
+	return len(d.Deleted) == 0 && len(d.Changed) == 0
+}
+
+// Nodes returns the total node counts of the inserted and deleted
+// subtrees, counting a changed entry's divergent subtrees on both
+// sides (DiffNodes). Display data for EXPLAIN.
+func (d *Delta) Nodes() (inserted, deleted int) {
+	for _, e := range d.Inserted {
+		inserted += e.Tree.Size()
+	}
+	for _, e := range d.Deleted {
+		deleted += e.Tree.Size()
+	}
+	for _, c := range d.Changed {
+		ins, del := DiffNodes(c.Old, c.New)
+		inserted += ins
+		deleted += del
+	}
+	return inserted, deleted
+}
+
+// DiffNodes estimates how many nodes were inserted and deleted between
+// two versions of one tree. Equal subtrees cancel; under a shared
+// label, children are matched by subtree key first (so reordering and
+// duplication cancel too) and the positional remainder is paired off
+// and recursed into. The estimate is conservative in the unmatched
+// case: a subtree with no counterpart counts whole.
+func DiffNodes(old, new *tree.Node) (inserted, deleted int) {
+	switch {
+	case old == nil && new == nil:
+		return 0, 0
+	case old == nil:
+		return new.Size(), 0
+	case new == nil:
+		return 0, old.Size()
+	}
+	if !old.Label.Equal(new.Label) {
+		return new.Size(), old.Size()
+	}
+	// Cancel children that match exactly, regardless of position.
+	unmatchedOld := indexByKey(old.Children)
+	var leftoverNew []*tree.Node
+	for _, c := range new.Children {
+		k := c.Key()
+		if n := unmatchedOld[k]; n > 0 {
+			unmatchedOld[k] = n - 1
+			continue
+		}
+		leftoverNew = append(leftoverNew, c)
+	}
+	var leftoverOld []*tree.Node
+	for _, c := range old.Children {
+		k := c.Key()
+		if unmatchedOld[k] > 0 {
+			unmatchedOld[k]--
+			leftoverOld = append(leftoverOld, c)
+		}
+	}
+	// Pair the remainders in order and recurse; surplus counts whole.
+	i := 0
+	for ; i < len(leftoverOld) && i < len(leftoverNew); i++ {
+		ins, del := DiffNodes(leftoverOld[i], leftoverNew[i])
+		inserted += ins
+		deleted += del
+	}
+	for ; i < len(leftoverNew); i++ {
+		inserted += leftoverNew[i].Size()
+	}
+	for j := len(leftoverNew); j < len(leftoverOld); j++ {
+		deleted += leftoverOld[j].Size()
+	}
+	return inserted, deleted
+}
+
+func indexByKey(nodes []*tree.Node) map[string]int {
+	m := make(map[string]int, len(nodes))
+	for _, n := range nodes {
+		m[n.Key()]++
+	}
+	return m
+}

@@ -1,0 +1,130 @@
+package delta
+
+import (
+	"testing"
+
+	"yat/internal/tree"
+)
+
+func entry(id string, children ...*tree.Node) (tree.Name, *tree.Node) {
+	return tree.PlainName(id), tree.Sym("item", children...)
+}
+
+func storeOf(ids ...string) *tree.Store {
+	s := tree.NewStore()
+	for _, id := range ids {
+		n, t := entry(id, tree.Sym("name", tree.Str(id)))
+		s.Put(n, t)
+	}
+	return s
+}
+
+func TestDiffClassifiesEntries(t *testing.T) {
+	old := storeOf("a", "b", "c")
+	new := storeOf("b", "c", "d")
+	// Rewrite c in place.
+	n, rewritten := entry("c", tree.Sym("name", tree.Str("c2")))
+	new.Put(n, rewritten)
+
+	d := Diff(old, new)
+	if len(d.Inserted) != 1 || d.Inserted[0].Name.Key() != tree.PlainName("d").Key() {
+		t.Errorf("Inserted = %+v, want [d]", d.Inserted)
+	}
+	if len(d.Deleted) != 1 || d.Deleted[0].Name.Key() != tree.PlainName("a").Key() {
+		t.Errorf("Deleted = %+v, want [a]", d.Deleted)
+	}
+	if len(d.Changed) != 1 || d.Changed[0].Name.Key() != tree.PlainName("c").Key() {
+		t.Errorf("Changed = %+v, want [c]", d.Changed)
+	}
+	if d.Empty() || d.InsertOnly() {
+		t.Errorf("Empty=%v InsertOnly=%v, want false/false", d.Empty(), d.InsertOnly())
+	}
+}
+
+func TestDiffEmptyAndInsertOnly(t *testing.T) {
+	s := storeOf("a", "b")
+	if d := Diff(s, s.Clone()); !d.Empty() || !d.InsertOnly() {
+		t.Errorf("identical stores: Empty=%v InsertOnly=%v", d.Empty(), d.InsertOnly())
+	}
+	d := Diff(storeOf("a"), storeOf("a", "b"))
+	if d.Empty() || !d.InsertOnly() || len(d.Inserted) != 1 {
+		t.Errorf("pure insert: %+v", d)
+	}
+	// Nil stores are empty stores.
+	if d := Diff(nil, storeOf("a")); len(d.Inserted) != 1 {
+		t.Errorf("nil old: %+v", d)
+	}
+	if d := Diff(storeOf("a"), nil); len(d.Deleted) != 1 {
+		t.Errorf("nil new: %+v", d)
+	}
+	if d := Diff(nil, nil); !d.Empty() {
+		t.Errorf("nil/nil: %+v", d)
+	}
+}
+
+// Inserted and Changed follow the new store's entry order, Deleted the
+// old store's — the order the delta evaluation mode seeds from.
+func TestDiffPreservesStoreOrder(t *testing.T) {
+	old := storeOf("x", "y")
+	new := storeOf("m", "x", "y", "k")
+	d := Diff(old, new)
+	if len(d.Inserted) != 2 ||
+		d.Inserted[0].Name.Key() != tree.PlainName("m").Key() ||
+		d.Inserted[1].Name.Key() != tree.PlainName("k").Key() {
+		t.Errorf("Inserted order = %+v, want [m k] (new-store order)", d.Inserted)
+	}
+	d = Diff(new, old)
+	if len(d.Deleted) != 2 ||
+		d.Deleted[0].Name.Key() != tree.PlainName("m").Key() ||
+		d.Deleted[1].Name.Key() != tree.PlainName("k").Key() {
+		t.Errorf("Deleted order = %+v, want [m k] (old-store order)", d.Deleted)
+	}
+}
+
+func TestDiffNodes(t *testing.T) {
+	leafA := tree.Sym("name", tree.Str("a"))
+	leafB := tree.Sym("name", tree.Str("b"))
+	leafC := tree.Sym("city", tree.Str("c"))
+
+	// Different root labels: both sides count whole.
+	_, oldT := entry("x", leafA)
+	other := tree.Sym("row", leafA.Clone())
+	ins, del := DiffNodes(oldT, other)
+	if ins != other.Size() || del != oldT.Size() {
+		t.Errorf("label mismatch: ins=%d del=%d, want %d/%d", ins, del, other.Size(), oldT.Size())
+	}
+
+	// Same label, one child replaced: only the divergent subtrees count.
+	_, t1 := entry("x", leafA, leafC)
+	_, t2 := entry("x", leafB, leafC)
+	ins, del = DiffNodes(t1, t2)
+	if ins >= t2.Size() || del >= t1.Size() || ins == 0 || del == 0 {
+		t.Errorf("partial change: ins=%d del=%d, want partial counts", ins, del)
+	}
+
+	// Reordered children cancel completely.
+	_, r1 := entry("x", leafA, leafC)
+	_, r2 := entry("x", leafC.Clone(), leafA.Clone())
+	if ins, del = DiffNodes(r1, r2); ins != 0 || del != 0 {
+		t.Errorf("reorder: ins=%d del=%d, want 0/0", ins, del)
+	}
+
+	// Nil sides count whole.
+	if ins, del = DiffNodes(nil, leafA); ins != leafA.Size() || del != 0 {
+		t.Errorf("nil old: %d/%d", ins, del)
+	}
+	if ins, del = DiffNodes(leafA, nil); ins != 0 || del != leafA.Size() {
+		t.Errorf("nil new: %d/%d", ins, del)
+	}
+}
+
+func TestNodes(t *testing.T) {
+	d := Diff(storeOf("a"), storeOf("b"))
+	ins, del := d.Nodes()
+	if ins == 0 || del == 0 {
+		t.Errorf("Nodes() = %d/%d, want both positive (one insert, one delete)", ins, del)
+	}
+	if d := Diff(storeOf("a"), storeOf("a")); func() bool { i, dd := d.Nodes(); return i != 0 || dd != 0 }() {
+		t.Error("identical stores must report zero changed nodes")
+	}
+}

@@ -55,6 +55,14 @@ type Options struct {
 	// dispatch index and dead-rule sets the run consumes. Facts
 	// computed from a different program value are ignored.
 	Facts *ProgramFacts
+	// DeltaSeeds, when non-nil, switches the run to delta-evaluation
+	// mode: the activation fixpoint is seeded from these entries only,
+	// while reference resolution and dereferencing still see the full
+	// input store. The run then derives exactly the consequences of
+	// the seed entries — the semi-naive delta of an insert-only source
+	// refresh. See WithDeltaSeeds for the soundness preconditions the
+	// caller must establish.
+	DeltaSeeds *tree.Store
 	// Optimize computes facts at run start when none were supplied.
 	Optimize bool
 	// NoOptimize disables every fact-driven optimization, even when
@@ -262,8 +270,14 @@ func execute(prog *yatl.Program, inputs *tree.Store, opts *Options, sl *Slice) (
 		r.ruleState[rule.Name] = newRuleState(rule)
 	}
 
-	// Seed with the source inputs.
-	for _, e := range inputs.Entries() {
+	// Seed with the source inputs — or, in delta-evaluation mode, with
+	// the delta entries alone (the matcher, reference resolution and
+	// deref expansion still consult the full store).
+	seeds := inputs
+	if opts.DeltaSeeds != nil {
+		seeds = opts.DeltaSeeds
+	}
+	for _, e := range seeds.Entries() {
 		r.activate(tree.Ref{Name: e.Name}, e.Tree, true)
 	}
 

@@ -104,6 +104,21 @@ func (e *FetchError) Error() string {
 	return "mediator: all sources failed: " + strings.Join(parts, "; ")
 }
 
+// NotFoundError reports a refresh or invalidation aimed at a name the
+// mediator has no record of: RefreshSource with a name no configured
+// source carries (Kind "source"), or InvalidateSource with a source
+// entry no cached rule depends on (Kind "source entry"). Both paths
+// return the same shape so callers can treat "nothing to do, and the
+// name looks wrong" uniformly.
+type NotFoundError struct {
+	Kind string
+	Name string
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("mediator: no %s named %q", e.Kind, e.Name)
+}
+
 // generation is one materialization lifetime: Invalidate swaps in a
 // fresh generation, so a query racing an invalidation keeps a
 // consistent view instead of observing a half-cleared cache.
@@ -278,11 +293,14 @@ type Mediator struct {
 	// non-empty, materializations fetch and merge these instead of
 	// consuming inputs alone. srcMu guards the per-source bookkeeping
 	// below: the entries each source contributed to the most recent
-	// merge and its most recent fetch error (nil when healthy).
+	// merge, its most recent fetch error (nil when healthy), and the
+	// most recent successfully merged input store — the baseline
+	// RefreshSource diffs a fresh fetch against for delta propagation.
 	sources    []source.Source
 	srcMu      sync.Mutex
 	srcEntries map[string][]tree.Name
 	srcErrs    map[string]error
+	lastMerged *tree.Store
 
 	mu sync.Mutex // guards cur and lastGood
 	// cur is the current program state; queries snapshot it once.
@@ -298,6 +316,11 @@ type Mediator struct {
 	cacheHits atomic.Int64
 	cacheMiss atomic.Int64
 	askNanos  atomic.Int64
+
+	// Incremental-refresh counters (see Stats.DeltaRuns et al.).
+	deltaRuns      atomic.Int64
+	deltaFallbacks atomic.Int64
+	patchedRules   atomic.Int64
 }
 
 // New returns a mediator over the program and sources. Nothing runs
@@ -428,6 +451,9 @@ func (m *Mediator) fetchInputs(ctx context.Context) (*tree.Store, error) {
 	if len(failed) == len(m.sources) {
 		return nil, &FetchError{Errs: failed}
 	}
+	m.srcMu.Lock()
+	m.lastMerged = merged
+	m.srcMu.Unlock()
 	return merged, nil
 }
 
@@ -855,6 +881,16 @@ type Stats struct {
 	// SliceRuns counts engine slice executions performed; an Ask that
 	// increments CacheHits performed none.
 	SliceRuns int64
+	// DeltaRuns counts RefreshSource calls absorbed incrementally: the
+	// refreshed fetch was diffed against the previous one and the
+	// per-rule cache was patched in place (or the delta was empty, or
+	// touched no cached rule). DeltaFallbacks counts refreshes where
+	// patching would have been unsound — deletions, multi-pattern
+	// joins, Skolem derefs, exception rules, output collisions,
+	// degraded sources — and the mediator re-ran the affected slice or
+	// invalidated wholesale instead. PatchedRules counts the cached
+	// rules whose entries were rewritten across both paths.
+	DeltaRuns, DeltaFallbacks, PatchedRules int64
 	// Sources reports per-source health for a mediator consuming
 	// fault-tolerant sources (WithSources), in declaration order;
 	// empty otherwise.
@@ -919,6 +955,9 @@ func (m *Mediator) Stats() Stats {
 	s.CacheHits = m.cacheHits.Load()
 	s.CacheMisses = m.cacheMiss.Load()
 	s.AskTime = time.Duration(m.askNanos.Load())
+	s.DeltaRuns = m.deltaRuns.Load()
+	s.DeltaFallbacks = m.deltaFallbacks.Load()
+	s.PatchedRules = m.patchedRules.Load()
 	s.Sources = m.sourceStatuses()
 	return s
 }
@@ -951,6 +990,9 @@ func (m *Mediator) demandStats() Stats {
 	s.CacheHits = m.cacheHits.Load()
 	s.CacheMisses = m.cacheMiss.Load()
 	s.AskTime = time.Duration(m.askNanos.Load())
+	s.DeltaRuns = m.deltaRuns.Load()
+	s.DeltaFallbacks = m.deltaFallbacks.Load()
+	s.PatchedRules = m.patchedRules.Load()
 	s.Sources = m.sourceStatuses()
 	return s
 }
@@ -1014,18 +1056,31 @@ func (m *Mediator) InvalidateRule(rule string) {
 
 // InvalidateSource drops from the demand cache every functor group
 // whose materialization directly matched the given source input (as
-// recorded during its slice runs). On a full-materialization mediator
-// it degrades to Invalidate.
-func (m *Mediator) InvalidateSource(src tree.Name) {
+// recorded during its slice runs). A name no cached rule recorded a
+// dependency on returns a *NotFoundError (the same shape RefreshSource
+// returns for an unknown source name) instead of silently doing
+// nothing. On a full-materialization mediator it degrades to
+// Invalidate.
+func (m *Mediator) InvalidateSource(src tree.Name) error {
 	if !m.demand {
 		m.Invalidate()
-		return
+		return nil
 	}
 	st := m.state()
 	g := st.dgen
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	key := src.Key()
+	known := false
+	for _, set := range g.ruleSources {
+		if set[key] {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return &NotFoundError{Kind: "source entry", Name: src.String()}
+	}
 	for _, f := range g.cachedFunctors(st.prog) {
 		sl := engine.ComputeSlice(st.prog, f)
 		depends := false
@@ -1047,20 +1102,24 @@ func (m *Mediator) InvalidateSource(src tree.Name) {
 			g.dropFunctor(st.prog, f)
 		}
 	}
+	return nil
 }
 
-// RefreshSource re-fetches the named source and invalidates exactly
-// the cached state that could have depended on it. When the source
-// carries a stale-while-revalidate cache the refresh is forced through
-// it (a failing refresh keeps the old snapshot and returns the error
-// without invalidating anything — the served data did not change). On
-// a demand-driven mediator only the functor groups whose slice runs
-// matched one of the source's entries are dropped, via
-// InvalidateSource; a full-materialization mediator reconverts
-// wholesale. If the source had been failing while rules were cached,
-// the whole demand cache is dropped: those rules were built without
-// the source's data and no finer dependency record exists for inputs
-// that were never there.
+// RefreshSource re-fetches the named source and absorbs whatever
+// changed with as little re-computation as it can prove sound. When
+// the source carries a stale-while-revalidate cache the refresh is
+// forced through it (a failing refresh keeps the old snapshot and
+// returns the error without invalidating anything — the served data
+// did not change). A demand-driven mediator then diffs the refreshed
+// merge against the previous one and propagates the delta through
+// only the affected rule slices (see refreshDelta in delta.go),
+// patching the per-rule cache in place where that is provably
+// byte-identical to a re-run and falling back to a slice re-run — or,
+// for a previously degraded source, wholesale invalidation — where it
+// is not. A full-materialization mediator reconverts wholesale. A nil
+// ctx is normalized before it can reach source decorators (whose
+// timeout and breaker paths call ctx methods); an unknown name
+// returns a *NotFoundError.
 func (m *Mediator) RefreshSource(ctx context.Context, name string) error {
 	var src source.Source
 	for _, s := range m.sources {
@@ -1070,7 +1129,7 @@ func (m *Mediator) RefreshSource(ctx context.Context, name string) error {
 		}
 	}
 	if src == nil {
-		return fmt.Errorf("mediator: no source named %q", name)
+		return &NotFoundError{Kind: "source", Name: name}
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -1087,21 +1146,7 @@ func (m *Mediator) RefreshSource(ctx context.Context, name string) error {
 		m.Invalidate()
 		return nil
 	}
-	g := m.state().dgen
-	g.mu.Lock()
-	wasDegraded := g.degraded[name]
-	g.mu.Unlock()
-	if wasDegraded {
-		m.Invalidate()
-		return nil
-	}
-	m.srcMu.Lock()
-	entries := append([]tree.Name(nil), m.srcEntries[name]...)
-	m.srcMu.Unlock()
-	for _, n := range entries {
-		m.InvalidateSource(n)
-	}
-	return nil
+	return m.refreshDelta(ctx, name)
 }
 
 // cachedFunctors lists the head functors with cached rules, in

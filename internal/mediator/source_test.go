@@ -234,7 +234,12 @@ func TestRefreshSourceRecovery(t *testing.T) {
 func TestRefreshSourceUnknownName(t *testing.T) {
 	m := New(yatl.MustParse(twoSourceProgram), nil,
 		WithSources(source.Static("src1", alphaStore("ant"))))
-	if err := m.RefreshSource(nil, "nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+	err := m.RefreshSource(nil, "nope")
+	var nf *NotFoundError
+	if !errors.As(err, &nf) || nf.Kind != "source" || nf.Name != "nope" {
+		t.Fatalf("err = %v, want *NotFoundError naming %q", err, "nope")
+	}
+	if !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("err = %v, want unknown-source naming %q", err, "nope")
 	}
 }

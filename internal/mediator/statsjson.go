@@ -43,18 +43,21 @@ type SourceView struct {
 // program and ask sequence — the property the yatprof/yatserve parity
 // test pins.
 type StatsView struct {
-	Generation   int64        `json:"generation"`
-	Materialized bool         `json:"materialized"`
-	Err          string       `json:"err,omitempty"`
-	Demand       bool         `json:"demand"`
-	Asks         int64        `json:"asks"`
-	CacheHits    int64        `json:"cache_hits"`
-	CacheMisses  int64        `json:"cache_misses"`
-	AskTimeMS    float64      `json:"ask_time_ms,omitempty"`
-	CachedRules  int          `json:"cached_rules"`
-	SliceRuns    int64        `json:"slice_runs"`
-	Run          RunView      `json:"run"`
-	Sources      []SourceView `json:"sources,omitempty"`
+	Generation     int64        `json:"generation"`
+	Materialized   bool         `json:"materialized"`
+	Err            string       `json:"err,omitempty"`
+	Demand         bool         `json:"demand"`
+	Asks           int64        `json:"asks"`
+	CacheHits      int64        `json:"cache_hits"`
+	CacheMisses    int64        `json:"cache_misses"`
+	AskTimeMS      float64      `json:"ask_time_ms,omitempty"`
+	CachedRules    int          `json:"cached_rules"`
+	SliceRuns      int64        `json:"slice_runs"`
+	DeltaRuns      int64        `json:"delta_runs"`
+	DeltaFallbacks int64        `json:"delta_fallbacks"`
+	PatchedRules   int64        `json:"patched_rules"`
+	Run            RunView      `json:"run"`
+	Sources        []SourceView `json:"sources,omitempty"`
 }
 
 // View builds the stable rendering of the snapshot. With timing off,
@@ -62,14 +65,17 @@ type StatsView struct {
 // fields deterministic for a given program and ask sequence.
 func (s Stats) View(timing bool) StatsView {
 	v := StatsView{
-		Generation:   s.Generation,
-		Materialized: s.Materialized,
-		Demand:       s.Demand,
-		Asks:         s.Asks,
-		CacheHits:    s.CacheHits,
-		CacheMisses:  s.CacheMisses,
-		CachedRules:  s.CachedRules,
-		SliceRuns:    s.SliceRuns,
+		Generation:     s.Generation,
+		Materialized:   s.Materialized,
+		Demand:         s.Demand,
+		Asks:           s.Asks,
+		CacheHits:      s.CacheHits,
+		CacheMisses:    s.CacheMisses,
+		CachedRules:    s.CachedRules,
+		SliceRuns:      s.SliceRuns,
+		DeltaRuns:      s.DeltaRuns,
+		DeltaFallbacks: s.DeltaFallbacks,
+		PatchedRules:   s.PatchedRules,
 		Run: RunView{
 			Activations: s.Run.Activations,
 			Bindings:    s.Run.Bindings,
@@ -133,6 +139,8 @@ func (s Stats) Render(w io.Writer, timing bool) error {
 	fmt.Fprintln(w)
 	if v.Demand {
 		fmt.Fprintf(w, "  cached-rules: %d  slice-runs: %d\n", v.CachedRules, v.SliceRuns)
+		fmt.Fprintf(w, "  deltas: runs=%d fallbacks=%d patched-rules=%d\n",
+			v.DeltaRuns, v.DeltaFallbacks, v.PatchedRules)
 	}
 	fmt.Fprintf(w, "  run: activations=%d bindings=%d outputs=%d rounds=%d\n",
 		v.Run.Activations, v.Run.Bindings, v.Run.Outputs, v.Run.Rounds)
@@ -180,6 +188,9 @@ func Aggregate(ss ...Stats) Stats {
 		}
 		out.CachedRules += s.CachedRules
 		out.SliceRuns += s.SliceRuns
+		out.DeltaRuns += s.DeltaRuns
+		out.DeltaFallbacks += s.DeltaFallbacks
+		out.PatchedRules += s.PatchedRules
 	}
 	return out
 }

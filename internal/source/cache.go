@@ -39,6 +39,11 @@ type Cached struct {
 	snapAt     time.Time
 	refreshing bool
 	lastErr    error
+	// epoch counts Invalidate calls. Every commit path snapshots it
+	// before fetching the inner source and commits only if it is
+	// unchanged, so a fetch that started before an Invalidate cannot
+	// resurrect the dropped snapshot by committing after it.
+	epoch uint64
 
 	// wg tracks background refreshes so tests (and the soak job's leak
 	// check) can wait for quiescence.
@@ -78,7 +83,7 @@ func (c *Cached) Fetch(ctx context.Context) (*tree.Store, error) {
 		if !c.refreshing {
 			c.refreshing = true
 			c.wg.Add(1)
-			go c.refresh(context.WithoutCancel(ctx))
+			go c.refresh(context.WithoutCancel(ctx), c.epoch)
 		}
 		c.staleServed.Add(1)
 		c.mu.Unlock()
@@ -97,6 +102,7 @@ func (c *Cached) Fetch(ctx context.Context) (*tree.Store, error) {
 		c.mu.Unlock()
 		return snap, nil
 	}
+	epoch := c.epoch
 	c.mu.Unlock()
 	store, err := c.inner.Fetch(ctx)
 	c.mu.Lock()
@@ -105,20 +111,25 @@ func (c *Cached) Fetch(ctx context.Context) (*tree.Store, error) {
 		c.lastErr = err
 		return nil, err
 	}
-	c.commit(store)
+	if c.epoch == epoch {
+		c.commit(store)
+	}
 	return store, nil
 }
 
-// refresh runs one background revalidation.
-func (c *Cached) refresh(ctx context.Context) {
+// refresh runs one background revalidation. epoch is the invalidation
+// epoch observed when the refresh was kicked off; an Invalidate in the
+// meantime discards the result instead of resurrecting the snapshot.
+func (c *Cached) refresh(ctx context.Context, epoch uint64) {
 	defer c.wg.Done()
 	store, err := c.inner.Fetch(ctx)
 	c.mu.Lock()
 	c.refreshing = false
-	if err != nil {
+	switch {
+	case err != nil:
 		c.refreshErrs.Add(1)
 		c.lastErr = err
-	} else {
+	case c.epoch == epoch:
 		c.commit(store)
 	}
 	c.mu.Unlock()
@@ -136,6 +147,9 @@ func (c *Cached) commit(store *tree.Store) {
 // keeps serving then). It is the hook behind the mediator's
 // RefreshSource.
 func (c *Cached) Refresh(ctx context.Context) error {
+	c.mu.Lock()
+	epoch := c.epoch
+	c.mu.Unlock()
 	store, err := c.inner.Fetch(ctx)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -144,15 +158,21 @@ func (c *Cached) Refresh(ctx context.Context) error {
 		c.lastErr = err
 		return err
 	}
-	c.commit(store)
+	if c.epoch == epoch {
+		c.commit(store)
+	}
 	return nil
 }
 
-// Invalidate drops the snapshot; the next fetch fills cold.
+// Invalidate drops the snapshot; the next fetch fills cold. Any
+// refresh already in flight — background or synchronous — commits
+// against the old epoch and is discarded, so invalidated data cannot
+// come back without a fresh fetch.
 func (c *Cached) Invalidate() {
 	c.mu.Lock()
 	c.snap = nil
 	c.snapAt = time.Time{}
+	c.epoch++
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,177 @@
+package source
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"yat/internal/tree"
+)
+
+// gateSource is a Source whose fetches can be held at a gate, so tests
+// can interleave an Invalidate with an in-flight fetch at an exact
+// point. The store is re-read after the gate opens, so whatever the
+// test installed last is what the blocked fetch returns.
+type gateSource struct {
+	name string
+
+	mu      sync.Mutex
+	store   *tree.Store
+	gate    chan struct{} // when non-nil, Fetch blocks until closed
+	started chan struct{} // when non-nil, Fetch signals entry (buffered)
+}
+
+func (g *gateSource) Name() string { return g.name }
+
+func (g *gateSource) set(store *tree.Store, gate, started chan struct{}) {
+	g.mu.Lock()
+	g.store, g.gate, g.started = store, gate, started
+	g.mu.Unlock()
+}
+
+func (g *gateSource) Fetch(ctx context.Context) (*tree.Store, error) {
+	g.mu.Lock()
+	gate, started := g.gate, g.started
+	g.mu.Unlock()
+	if started != nil {
+		started <- struct{}{}
+	}
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.store, nil
+}
+
+func labeledStore(label string) *tree.Store {
+	s := tree.NewStore()
+	s.Put(tree.PlainName("x"), tree.Sym(label))
+	return s
+}
+
+func storeLabel(t *testing.T, s *tree.Store) string {
+	t.Helper()
+	n, ok := s.Get(tree.PlainName("x"))
+	if !ok {
+		t.Fatal("store has no x entry")
+	}
+	return n.Label.Display()
+}
+
+// Regression: a background stale-refresh that was in flight when
+// Invalidate ran must not resurrect its snapshot by committing after
+// the invalidation — the next fetch has to fill cold from the inner
+// source.
+func TestCachedInvalidateDiscardsBackgroundRefresh(t *testing.T) {
+	clock := NewFakeClock()
+	inner := &gateSource{name: "s", store: labeledStore("A")}
+	c := WithCache(inner, CacheOptions{TTL: time.Minute, Clock: clock})
+	ctx := context.Background()
+
+	got, err := c.Fetch(ctx) // cold fill A
+	if err != nil || storeLabel(t, got) != "A" {
+		t.Fatalf("cold fill = %v, %v", got, err)
+	}
+	clock.Advance(2 * time.Minute) // stale now
+
+	gate := make(chan struct{})
+	inner.set(labeledStore("B"), gate, nil)
+	got, err = c.Fetch(ctx) // serves stale A, kicks the background refresh
+	if err != nil || storeLabel(t, got) != "A" {
+		t.Fatalf("stale serve = %v, %v; want the old snapshot", got, err)
+	}
+
+	c.Invalidate() // while the refresh is parked at the gate
+	close(gate)    // refresh completes with B — against the old epoch
+	c.Wait()
+
+	inner.set(labeledStore("C"), nil, nil)
+	got, err = c.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := storeLabel(t, got); l != "C" {
+		t.Fatalf("post-invalidate fetch = %s, want a cold fill of C (B resurrected)", l)
+	}
+}
+
+// The same guard for the synchronous Refresh path (the hook behind the
+// mediator's RefreshSource): a Refresh that began before Invalidate
+// must not install its result afterwards.
+func TestCachedInvalidateDiscardsSyncRefresh(t *testing.T) {
+	clock := NewFakeClock()
+	inner := &gateSource{name: "s", store: labeledStore("A")}
+	c := WithCache(inner, CacheOptions{TTL: time.Minute, Clock: clock})
+	ctx := context.Background()
+
+	if _, err := c.Fetch(ctx); err != nil { // cold fill A
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	inner.set(labeledStore("B"), gate, started)
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Refresh(ctx) }()
+	<-started // Refresh has snapshotted the epoch and entered the fetch
+
+	c.Invalidate()
+	close(gate)
+	if err := <-errCh; err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+
+	inner.set(labeledStore("C"), nil, nil)
+	got, err := c.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := storeLabel(t, got); l != "C" {
+		t.Fatalf("post-invalidate fetch = %s, want a cold fill of C (B resurrected)", l)
+	}
+}
+
+// A cold fill racing Invalidate the same way: the filled store is
+// still returned to its caller but not committed, so the snapshot
+// cannot outlive the invalidation either.
+func TestCachedInvalidateDiscardsColdFill(t *testing.T) {
+	clock := NewFakeClock()
+	inner := &gateSource{name: "s", store: labeledStore("B")}
+	c := WithCache(inner, CacheOptions{TTL: time.Minute, Clock: clock})
+	ctx := context.Background()
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	inner.set(labeledStore("B"), gate, started)
+	type result struct {
+		store *tree.Store
+		err   error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		s, err := c.Fetch(ctx)
+		resCh <- result{s, err}
+	}()
+	<-started
+	c.Invalidate()
+	close(gate)
+	res := <-resCh
+	if res.err != nil || storeLabel(t, res.store) != "B" {
+		t.Fatalf("cold fill = %v, %v; the filler itself still gets its fetch", res.store, res.err)
+	}
+
+	inner.set(labeledStore("C"), nil, nil)
+	got, err := c.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := storeLabel(t, got); l != "C" {
+		t.Fatalf("fetch after invalidated cold fill = %s, want C", l)
+	}
+}

@@ -60,6 +60,14 @@ func (f *Fault) SetErr(err error) {
 	f.mu.Unlock()
 }
 
+// SetStore swaps the store served by subsequent fetches — how refresh
+// tests and benchmarks change a source's contents between fetches.
+func (f *Fault) SetStore(s *tree.Store) {
+	f.mu.Lock()
+	f.store = s
+	f.mu.Unlock()
+}
+
 // Calls reports how many fetches the source has served.
 func (f *Fault) Calls() int64 {
 	f.mu.Lock()
@@ -81,6 +89,7 @@ func (f *Fault) Fetch(ctx context.Context) (*tree.Store, error) {
 		step = f.steps[f.calls%int64(len(f.steps))]
 	}
 	f.calls++
+	store := f.store
 	f.mu.Unlock()
 
 	if step.Latency > 0 {
@@ -96,5 +105,5 @@ func (f *Fault) Fetch(ctx context.Context) (*tree.Store, error) {
 	if step.Fail != nil {
 		return nil, step.Fail
 	}
-	return f.store, nil
+	return store, nil
 }

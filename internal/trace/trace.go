@@ -141,6 +141,18 @@ const (
 	// facts (engine.AnalyzeProgram); Detail is the facts summary —
 	// symbol-table size, dispatch roots, dead rules, strata.
 	KindAnalysis
+	// KindDeltaApplied records a source refresh absorbed by delta
+	// propagation (the cache was patched in place, or the delta was
+	// empty or touched no cached rule); Detail carries the source name
+	// and inserted/deleted/changed/patched-rule counts, Count the
+	// number of patched rules.
+	KindDeltaApplied
+	// KindDeltaFallback records a source refresh that could not be
+	// patched and fell back to a slice re-run or wholesale
+	// invalidation; Detail carries the source name and the machine-
+	// readable fallback reason, Count the number of re-run rules whose
+	// outputs actually changed.
+	KindDeltaFallback
 )
 
 func (k Kind) String() string {
@@ -179,6 +191,10 @@ func (k Kind) String() string {
 		return "stale-served"
 	case KindAnalysis:
 		return "analysis"
+	case KindDeltaApplied:
+		return "delta-applied"
+	case KindDeltaFallback:
+		return "delta-fallback"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -282,6 +298,12 @@ type Profile struct {
 	// analysis holds the facts summary of an optimized run (empty for
 	// unoptimized runs).
 	analysis string
+	// deltaApplied/deltaFallbacks count incremental-refresh outcomes;
+	// deltaLines retains their Detail strings in arrival order for the
+	// EXPLAIN `delta:` lines.
+	deltaApplied   int
+	deltaFallbacks int
+	deltaLines     []string
 	// sources aggregates source-layer events per source name.
 	sources map[string]*SourceProfile
 }
@@ -313,6 +335,14 @@ func (p *Profile) Emit(e Event) {
 		return
 	case KindAnalysis:
 		p.analysis = e.Detail
+		return
+	case KindDeltaApplied:
+		p.deltaApplied++
+		p.deltaLines = append(p.deltaLines, e.Detail)
+		return
+	case KindDeltaFallback:
+		p.deltaFallbacks++
+		p.deltaLines = append(p.deltaLines, e.Detail)
 		return
 	case KindSourceFetch:
 		sp := p.source(e.Detail)
@@ -503,6 +533,8 @@ func (p *Profile) Render(w io.Writer, timing bool) error {
 	program, rounds, pending, wall := p.program, p.rounds, append([]int(nil), p.roundPending...), p.wall
 	slices, sliceRules := p.slices, p.sliceRules
 	analysis := p.analysis
+	deltaApplied, deltaFallbacks := p.deltaApplied, p.deltaFallbacks
+	deltaLines := append([]string(nil), p.deltaLines...)
 	p.mu.Unlock()
 
 	name := program
@@ -522,6 +554,12 @@ func (p *Profile) Render(w io.Writer, timing bool) error {
 	}
 	if slices > 0 {
 		fmt.Fprintf(w, "slices: %d rules=%d\n", slices, sliceRules)
+	}
+	if deltaApplied > 0 || deltaFallbacks > 0 {
+		fmt.Fprintf(w, "deltas: applied=%d fallbacks=%d\n", deltaApplied, deltaFallbacks)
+		for _, l := range deltaLines {
+			fmt.Fprintf(w, "delta: %s\n", l)
+		}
 	}
 	for _, s := range sources {
 		fmt.Fprintf(w, "source %s  fetches=%d failures=%d retries=%d breaker-opens=%d stale-served=%d",
@@ -613,16 +651,19 @@ type jsonSource struct {
 
 // jsonProfile is the JSON shape of the whole profile.
 type jsonProfile struct {
-	Program      string       `json:"program"`
-	Rounds       int          `json:"rounds"`
-	RoundPending []int        `json:"round_pending,omitempty"`
-	Events       int          `json:"events"`
-	WallNS       int64        `json:"wall_ns,omitempty"`
-	Slices       int          `json:"slices,omitempty"`
-	SliceRules   int          `json:"slice_rules,omitempty"`
-	Analysis     string       `json:"analysis,omitempty"`
-	Sources      []jsonSource `json:"sources,omitempty"`
-	Rules        []jsonRule   `json:"rules"`
+	Program        string       `json:"program"`
+	Rounds         int          `json:"rounds"`
+	RoundPending   []int        `json:"round_pending,omitempty"`
+	Events         int          `json:"events"`
+	WallNS         int64        `json:"wall_ns,omitempty"`
+	Slices         int          `json:"slices,omitempty"`
+	SliceRules     int          `json:"slice_rules,omitempty"`
+	DeltaApplied   int          `json:"delta_applied,omitempty"`
+	DeltaFallbacks int          `json:"delta_fallbacks,omitempty"`
+	Deltas         []string     `json:"deltas,omitempty"`
+	Analysis       string       `json:"analysis,omitempty"`
+	Sources        []jsonSource `json:"sources,omitempty"`
+	Rules          []jsonRule   `json:"rules"`
 }
 
 // JSON renders the profile as indented JSON. With timing false all
@@ -632,13 +673,16 @@ func (p *Profile) JSON(timing bool) ([]byte, error) {
 	rules := p.Rules()
 	p.mu.Lock()
 	doc := jsonProfile{
-		Program:      p.program,
-		Rounds:       p.rounds,
-		RoundPending: append([]int(nil), p.roundPending...),
-		Events:       p.events,
-		Slices:       p.slices,
-		SliceRules:   p.sliceRules,
-		Analysis:     p.analysis,
+		Program:        p.program,
+		Rounds:         p.rounds,
+		RoundPending:   append([]int(nil), p.roundPending...),
+		Events:         p.events,
+		Slices:         p.slices,
+		SliceRules:     p.sliceRules,
+		DeltaApplied:   p.deltaApplied,
+		DeltaFallbacks: p.deltaFallbacks,
+		Deltas:         append([]string(nil), p.deltaLines...),
+		Analysis:       p.analysis,
 	}
 	if timing {
 		doc.WallNS = p.wall.Nanoseconds()

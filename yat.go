@@ -372,6 +372,11 @@ type MediatorSourceStatus = mediator.SourceStatus
 // at once aborts a materialization.
 type SourceFetchError = mediator.FetchError
 
+// MediatorNotFoundError is returned by RefreshSource and
+// InvalidateSource when the named source (or source entry) does not
+// exist; Kind says which namespace the lookup missed.
+type MediatorNotFoundError = mediator.NotFoundError
+
 // Fault-tolerant sources (the internal/source layer). A Source feeds a
 // mediator live input trees; decorators compose resilience around it,
 // conventionally cache(breaker(retry(timeout(src)))):
