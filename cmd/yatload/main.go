@@ -20,9 +20,12 @@
 //	-duration  measured window (default 5s)
 //	-qps       target request rate cap, spread across workers
 //	           (0 = as fast as the server answers)
+//	-allow-empty  tolerate empty answer sets (a federated server
+//	           degraded to partial results still answers 200 with
+//	           whatever its healthy shards produced)
 //	-out       write the JSON report to a file instead of stdout
 //
-// The report is the serve.LoadReport schema: requests, errors, QPS,
+// The report is the wire.LoadReport schema: requests, errors, QPS,
 // p50/p95/p99/mean/max latency in milliseconds. Exit status is 1 when
 // any request failed, so scripts can gate on it directly.
 package main
@@ -40,7 +43,7 @@ import (
 	"sync"
 	"time"
 
-	"yat/internal/serve"
+	"yat/internal/serve/wire"
 )
 
 func main() {
@@ -60,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		warmupFlag   = fs.Duration("warmup", time.Second, "window discarded before measurement")
 		durationFlag = fs.Duration("duration", 5*time.Second, "measured window")
 		qpsFlag      = fs.Float64("qps", 0, "target request rate cap (0 = unbounded)")
+		emptyFlag    = fs.Bool("allow-empty", false, "tolerate empty answer sets (degraded federations)")
 		outFlag      = fs.String("out", "", "write the JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,14 +86,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	report, err := drive(driveConfig{
-		url:      strings.TrimRight(*urlFlag, "/"),
-		pattern:  *patternFlag,
-		functors: functors,
-		rotate:   rotate,
-		workers:  *workersFlag,
-		warmup:   *warmupFlag,
-		duration: *durationFlag,
-		qps:      *qpsFlag,
+		url:        strings.TrimRight(*urlFlag, "/"),
+		pattern:    *patternFlag,
+		functors:   functors,
+		rotate:     rotate,
+		workers:    *workersFlag,
+		warmup:     *warmupFlag,
+		duration:   *durationFlag,
+		qps:        *qpsFlag,
+		allowEmpty: *emptyFlag,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "yatload:", err)
@@ -141,20 +146,21 @@ func parseFunctors(spec string) (functors []string, rotate bool, err error) {
 }
 
 type driveConfig struct {
-	url      string
-	pattern  string
-	functors []string
-	rotate   bool
-	workers  int
-	warmup   time.Duration
-	duration time.Duration
-	qps      float64
+	url        string
+	pattern    string
+	functors   []string
+	rotate     bool
+	workers    int
+	warmup     time.Duration
+	duration   time.Duration
+	qps        float64
+	allowEmpty bool
 }
 
 // drive runs the load: workers loop POST /ask until the deadline,
 // discarding results until the warmup elapses. Latencies and errors
 // from the measured window are folded into the report.
-func drive(cfg driveConfig) (*serve.LoadReport, error) {
+func drive(cfg driveConfig) (*wire.LoadReport, error) {
 	// One pre-marshaled body per distinct request shape.
 	bodies := make([][]byte, 1)
 	if cfg.rotate {
@@ -173,7 +179,7 @@ func drive(cfg driveConfig) (*serve.LoadReport, error) {
 
 	// Smoke one request before unleashing the workers so a dead server
 	// is one clear error, not workers*duration of them.
-	if _, err := ask(client, cfg.url, bodies[0]); err != nil {
+	if _, err := ask(client, cfg.url, bodies[0], cfg.allowEmpty); err != nil {
 		return nil, fmt.Errorf("preflight request: %w", err)
 	}
 
@@ -201,7 +207,7 @@ func drive(cfg driveConfig) (*serve.LoadReport, error) {
 				if start.After(deadline) {
 					return
 				}
-				_, err := ask(client, cfg.url, bodies[i%len(bodies)])
+				_, err := ask(client, cfg.url, bodies[i%len(bodies)], cfg.allowEmpty)
 				if start.After(measureFrom) {
 					if err != nil {
 						res.errs++
@@ -225,7 +231,7 @@ func drive(cfg driveConfig) (*serve.LoadReport, error) {
 		lat = append(lat, r.lat...)
 		errs += r.errs
 	}
-	report := &serve.LoadReport{
+	report := &wire.LoadReport{
 		URL:             cfg.url,
 		Pattern:         cfg.pattern,
 		Functors:        cfg.functors,
@@ -235,13 +241,13 @@ func drive(cfg driveConfig) (*serve.LoadReport, error) {
 		Requests:        int64(len(lat)) + errs,
 		Errors:          errs,
 		QPS:             float64(len(lat)) / cfg.duration.Seconds(),
-		Latency:         serve.Summarize(lat),
+		Latency:         wire.Summarize(lat),
 	}
 	return report, nil
 }
 
 func mustBody(pattern string, functors []string) []byte {
-	body, err := json.Marshal(serve.AskRequest{Pattern: pattern, Functors: functors})
+	body, err := json.Marshal(wire.AskRequest{Pattern: pattern, Functors: functors})
 	if err != nil {
 		panic(err)
 	}
@@ -250,7 +256,7 @@ func mustBody(pattern string, functors []string) []byte {
 
 // ask performs one POST /ask, draining and closing the body so the
 // connection returns to the pool. Any non-200 status is an error.
-func ask(client *http.Client, url string, body []byte) (int, error) {
+func ask(client *http.Client, url string, body []byte, allowEmpty bool) (int, error) {
 	resp, err := client.Post(url+"/ask", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
@@ -260,11 +266,11 @@ func ask(client *http.Client, url string, body []byte) (int, error) {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
 	}
-	var out serve.AskResponse
+	var out wire.AskResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return resp.StatusCode, err
 	}
-	if out.Count == 0 {
+	if out.Count == 0 && !allowEmpty {
 		return resp.StatusCode, fmt.Errorf("empty answer set")
 	}
 	io.Copy(io.Discard, resp.Body)

@@ -23,7 +23,10 @@
 //	-program      a .yatl file, the name of a built-in library program
 //	              (sgml2odmg, sgml2odmgTyped, sgml2odmgPrime, odmg2html),
 //	              or selective:K — the synthetic K-view selective-ask
-//	              program the load harness targets
+//	              program the load harness targets. A comma-separated
+//	              list is a cross-mediator pipeline, fused into one
+//	              program with §4 composition before serving — the
+//	              intermediate models never exist
 //	-input        input store: a file in YAT tree syntax, or
 //	              brochures:N,S,P[,seed] — a synthetic store of N
 //	              brochures with S suppliers each from a pool of P
@@ -34,6 +37,16 @@
 //	-parallelism  engine worker count per lane (0 = sequential)
 //	-demand       demand-driven lanes (default true; -demand=false
 //	              materializes the full target per lane)
+//	-shards       shard the program across N in-process child mediators
+//	              behind a federation router (0 = plain pool)
+//	-child        base URL of a remote yatserve child; repeatable. The
+//	              server becomes a parent federation over the children,
+//	              discovering each child's functors at startup;
+//	              -program is then optional
+//	-shard        i/n — serve only shard i (0-based) of the program's
+//	              n-way plan: the closed sub-program for that shard's
+//	              functor groups. This is how federation children are
+//	              launched
 //	-drain        graceful-drain deadline on shutdown (default 10s)
 //	-quiet        suppress operational logs
 package main
@@ -52,13 +65,21 @@ import (
 	"time"
 
 	"yat/internal/engine"
+	"yat/internal/federate"
 	"yat/internal/library"
+	"yat/internal/mediator"
 	"yat/internal/serve"
 	"yat/internal/source"
 	"yat/internal/tree"
 	"yat/internal/workload"
 	"yat/internal/yatl"
 )
+
+// stringList collects a repeatable flag (-child URL -child URL ...).
+type stringList []string
+
+func (l *stringList) String() string     { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stderr))
@@ -75,19 +96,23 @@ func run(args []string, stderr io.Writer) int {
 		poolFlag   = fs.Int("pool", 4, "mediator lanes")
 		parFlag    = fs.Int("parallelism", 0, "engine worker count per lane (0 = sequential)")
 		demandFlag = fs.Bool("demand", true, "demand-driven lanes")
+		shardsFlag = fs.Int("shards", 0, "shard across N in-process federation children (0 = plain pool)")
+		shardFlag  = fs.String("shard", "", "i/n — serve only shard i of the program's n-way plan")
 		drainFlag  = fs.Duration("drain", 10*time.Second, "graceful-drain deadline on shutdown")
 		quietFlag  = fs.Bool("quiet", false, "suppress operational logs")
 	)
+	var childFlag stringList
+	fs.Var(&childFlag, "child", "base URL of a remote yatserve child (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *progFlag == "" {
-		fmt.Fprintln(stderr, "yatserve: -program is required")
+	if *progFlag == "" && len(childFlag) == 0 {
+		fmt.Fprintln(stderr, "yatserve: -program is required (unless -child children are given)")
 		fs.Usage()
 		return 2
 	}
 
-	prog, err := loadProgram(*progFlag)
+	progs, err := loadPrograms(*progFlag)
 	if err != nil {
 		fmt.Fprintln(stderr, "yatserve:", err)
 		return 1
@@ -99,26 +124,106 @@ func run(args []string, stderr io.Writer) int {
 	}
 
 	cfg := serve.Config{
-		Prog:         prog,
 		Demand:       demandFlag,
 		Pool:         *poolFlag,
 		DrainTimeout: *drainFlag,
 	}
+	if len(progs) > 0 {
+		cfg.Prog = progs[0]
+	}
 	if *parFlag > 0 {
 		cfg.Options = []engine.Option{engine.WithParallelism(*parFlag)}
 	}
+	logf := func(string, ...any) {}
 	if !*quietFlag {
 		logger := log.New(stderr, "", log.LstdFlags)
 		cfg.Logf = logger.Printf
+		logf = logger.Printf
 	}
+	var sources []source.Source
 	if *splitFlag > 0 {
 		if inputs == nil {
 			fmt.Fprintln(stderr, "yatserve: -split needs an -input store to split")
 			return 2
 		}
 		for i, part := range workload.SplitStore(inputs, *splitFlag) {
-			cfg.Sources = append(cfg.Sources, source.Static(fmt.Sprintf("src%d", i+1), part))
+			sources = append(sources, source.Static(fmt.Sprintf("src%d", i+1), part))
 		}
+	}
+
+	// A multi-program pipeline is fused up front, so every serving mode
+	// below — plain pool, one shard, a federation — works off the
+	// one-step program. Fusing here (not in federate.New) also covers
+	// -shard children, which serve a slice of the fused program.
+	if len(progs) > 1 {
+		fused, err := federate.FusePipeline(progs, nil)
+		if err != nil {
+			fmt.Fprintln(stderr, "yatserve:", err)
+			return 1
+		}
+		logf("yatserve: fused %d-program pipeline into %q (%d rules)",
+			len(progs), fused.Name, len(fused.Rules))
+		progs = []*yatl.Program{fused}
+		cfg.Prog = fused
+	}
+
+	if *shardFlag != "" {
+		if cfg.Prog == nil {
+			fmt.Fprintln(stderr, "yatserve: -shard needs a -program to slice")
+			return 2
+		}
+		sub, owned, err := shardProgram(cfg.Prog, *shardFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, "yatserve:", err)
+			return 1
+		}
+		logf("yatserve: serving shard %s of %q: functors %s",
+			*shardFlag, cfg.Prog.Name, strings.Join(owned, ","))
+		cfg.Prog = sub
+	}
+
+	switch {
+	case len(childFlag) > 0:
+		// Parent federation over remote children: one router lane, the
+		// children discovered live.
+		fcfg := federate.Config{Programs: progs}
+		for _, base := range childFlag {
+			fcfg.Children = append(fcfg.Children, federate.Child{
+				Asker: federate.NewClient(base, nil),
+			})
+		}
+		fed, err := federate.New(fcfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "yatserve:", err)
+			return 1
+		}
+		logf("yatserve: federation over %d remote children: %s",
+			len(childFlag), strings.Join(fed.Children(), ","))
+		cfg.Askers = []mediator.Asker{fed}
+	case *shardsFlag > 0:
+		fopts := append([]engine.Option{}, cfg.Options...)
+		fopts = append(fopts, mediator.WithDemandDriven(*demandFlag))
+		if len(sources) > 0 {
+			fopts = append(fopts, mediator.WithSources(sources...))
+			sources = nil
+		}
+		fed, err := federate.New(federate.Config{
+			Programs: progs,
+			Shards:   *shardsFlag,
+			Inputs:   inputs,
+			Options:  fopts,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "yatserve:", err)
+			return 1
+		}
+		logf("yatserve: sharded %q across %d in-process children",
+			cfg.Prog.Name, len(fed.Children()))
+		cfg.Askers = []mediator.Asker{fed}
+	}
+
+	if len(sources) > 0 {
+		cfg.Sources = sources
 	} else {
 		cfg.Inputs = inputs
 	}
@@ -138,7 +243,47 @@ func run(args []string, stderr io.Writer) int {
 	return 0
 }
 
-// loadProgram resolves a -program spec: a .yatl file, a built-in
+// loadPrograms resolves a -program spec: one program, or a
+// comma-separated pipeline of them (fused by the caller).
+func loadPrograms(spec string) ([]*yatl.Program, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var progs []*yatl.Program
+	for _, part := range strings.Split(spec, ",") {
+		// selective:K contains no comma; a bare comma-separated list is
+		// unambiguous.
+		p, err := loadProgram(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
+}
+
+// shardProgram parses an i/n spec and returns shard i's closed
+// sub-program plus its owned functor groups.
+func shardProgram(prog *yatl.Program, spec string) (*yatl.Program, []string, error) {
+	idx, total, ok := strings.Cut(spec, "/")
+	if !ok {
+		return nil, nil, fmt.Errorf("bad -shard %q: want i/n", spec)
+	}
+	i, err1 := strconv.Atoi(idx)
+	n, err2 := strconv.Atoi(total)
+	if err1 != nil || err2 != nil || n < 1 || i < 0 || i >= n {
+		return nil, nil, fmt.Errorf("bad -shard %q: want i/n with 0 <= i < n", spec)
+	}
+	plans := federate.PlanShards(prog, n)
+	if i >= len(plans) {
+		// n was clamped to the functor-group count; an out-of-range
+		// child has nothing to serve.
+		return nil, nil, fmt.Errorf("-shard %s: plan has only %d shards (functor groups)", spec, len(plans))
+	}
+	return plans[i].Prog, plans[i].Functors, nil
+}
+
+// loadProgram resolves one program spec: a .yatl file, a built-in
 // library name, or selective:K.
 func loadProgram(spec string) (*yatl.Program, error) {
 	if k, ok := strings.CutPrefix(spec, "selective:"); ok {

@@ -5,18 +5,73 @@ import (
 	"sort"
 	"strings"
 
+	"yat/internal/engine"
 	"yat/internal/pattern"
 	"yat/internal/typing"
 	"yat/internal/yatl"
 )
 
-// ComposeOptions configures program composition.
+// ComposeOptions configures program composition. It predates the
+// functional-option form and is still accepted directly: a
+// *ComposeOptions is itself a ComposeOption that overwrites the whole
+// configuration, so legacy call sites keep working inside the
+// variadic Compose.
 type ComposeOptions struct {
 	Options
 	// SkipTypeCheck bypasses the §4.3 compatibility check (the output
 	// model of the first program must instantiate the input model of
 	// the second).
 	SkipTypeCheck bool
+}
+
+// ComposeOption is one functional configuration item for Compose,
+// mirroring the engine's Run/NewMediator option style.
+type ComposeOption interface {
+	applyCompose(*ComposeOptions)
+}
+
+// applyCompose makes the legacy struct usable as an option: it
+// replaces the accumulated configuration wholesale (matching its old
+// all-at-once semantics). A nil *ComposeOptions is a no-op, so
+// historical Compose(a, b, nil) call sites still compile and behave.
+func (o *ComposeOptions) applyCompose(dst *ComposeOptions) {
+	if o != nil {
+		*dst = *o
+	}
+}
+
+type composeOptionFunc func(*ComposeOptions)
+
+func (f composeOptionFunc) applyCompose(o *ComposeOptions) { f(o) }
+
+// WithSkipTypeCheck bypasses (or re-enables) the §4.3 compatibility
+// check between the two programs.
+func WithSkipTypeCheck(skip bool) ComposeOption {
+	return composeOptionFunc(func(o *ComposeOptions) { o.SkipTypeCheck = skip })
+}
+
+// WithRegistry supplies the function registry used to evaluate
+// external calls on constant arguments at composition time.
+func WithRegistry(r *engine.Registry) ComposeOption {
+	return composeOptionFunc(func(o *ComposeOptions) { o.Registry = r })
+}
+
+// WithModel supplies extra pattern definitions merged with the
+// programs' declared models.
+func WithModel(m *pattern.Model) ComposeOption {
+	return composeOptionFunc(func(o *ComposeOptions) { o.Model = m })
+}
+
+// NewComposeOptions folds a variadic option list into the legacy
+// struct; nil options are skipped.
+func NewComposeOptions(opts ...ComposeOption) *ComposeOptions {
+	o := &ComposeOptions{}
+	for _, opt := range opts {
+		if opt != nil {
+			opt.applyCompose(o)
+		}
+	}
+	return o
 }
 
 // Compose fuses two conversion programs prg1 : M1 ↦ M2 and
@@ -27,10 +82,8 @@ type ComposeOptions struct {
 // References to intermediate identities splice their Skolem
 // arguments (HtmlPage(Pcar(Pbr)) becomes HtmlPage(Pbr)), so the
 // composed outputs are keyed directly by source values.
-func Compose(prg1, prg2 *yatl.Program, opts *ComposeOptions) (*yatl.Program, error) {
-	if opts == nil {
-		opts = &ComposeOptions{}
-	}
+func Compose(prg1, prg2 *yatl.Program, options ...ComposeOption) (*yatl.Program, error) {
+	opts := NewComposeOptions(options...)
 	if !opts.SkipTypeCheck {
 		if err := typing.Compatible(prg1, prg2, opts.Registry); err != nil {
 			return nil, err

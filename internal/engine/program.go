@@ -203,7 +203,7 @@ func execute(prog *yatl.Program, inputs *tree.Store, opts *Options, sl *Slice) (
 	// the §4.2 blocking and ordering semantics within each group are
 	// exactly those of the full program.
 	if sl != nil {
-		prog = sl.subProgram(prog)
+		prog = sl.SubProgram(prog)
 	}
 
 	r := &run{

@@ -96,11 +96,14 @@ func (s *Slice) String() string {
 	return fmt.Sprintf("functors=%s construct=%d support=%d", funcs, len(s.Construct), len(s.Support))
 }
 
-// subProgram restricts a program to the slice's rules, preserving
+// SubProgram restricts a program to the slice's rules, preserving
 // declaration order, models and order statements. Exception rules are
 // never part of a slice: the §3.5 "everything converted" check is
-// only meaningful for full runs.
-func (s *Slice) subProgram(prog *yatl.Program) *yatl.Program {
+// only meaningful for full runs. The slice-soundness argument (the
+// construct rules' outputs are byte-identical to a full run's) makes
+// the restriction a closed program in its own right — the federation
+// planner runs one per shard as that child's whole world.
+func (s *Slice) SubProgram(prog *yatl.Program) *yatl.Program {
 	rules := make([]*yatl.Rule, 0, s.Rules())
 	for _, r := range prog.Rules {
 		if !r.Exception && s.include[r.Name] {

@@ -1,0 +1,187 @@
+package federate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+
+	"yat/internal/engine"
+	"yat/internal/mediator"
+	"yat/internal/serve/wire"
+	"yat/internal/tree"
+)
+
+// Client is a remote federation child: a mediator.Asker over a
+// yatserve instance, speaking the exact wire types the server serves
+// (internal/serve/wire). Asks always request producer-computed merge
+// keys (?keys=1), so a parent federation merges this child's answers
+// in the child's own canonical order even when a display form is
+// exotic. A Client carries no per-request state and is safe for
+// concurrent use.
+type Client struct {
+	base string
+	name string
+	http *http.Client
+	gen  atomic.Int64
+}
+
+var _ mediator.Asker = (*Client)(nil)
+
+// ClientOptions tunes NewClient.
+type ClientOptions struct {
+	// Name overrides the display name (default: the base URL's host).
+	Name string
+	// HTTPClient overrides the transport; nil means a dedicated
+	// http.Client with no global timeout — deadlines come from the
+	// federation guard's per-call context.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a shard client over a yatserve base URL
+// (e.g. "http://10.0.0.7:8080").
+func NewClient(base string, opts *ClientOptions) *Client {
+	c := &Client{base: strings.TrimRight(base, "/")}
+	if opts != nil {
+		c.name = opts.Name
+		c.http = opts.HTTPClient
+	}
+	if c.name == "" {
+		if u, err := url.Parse(c.base); err == nil && u.Host != "" {
+			c.name = u.Host
+		} else {
+			c.name = c.base
+		}
+	}
+	if c.http == nil {
+		c.http = &http.Client{}
+	}
+	return c
+}
+
+// Name is the client's display name for stats and errors.
+func (c *Client) Name() string { return c.name }
+
+// Close releases idle connections.
+func (c *Client) Close() { c.http.CloseIdleConnections() }
+
+// Ask implements Asker.
+func (c *Client) Ask(patternSrc string, functors ...string) ([]mediator.Answer, error) {
+	return c.AskContext(context.Background(), patternSrc, functors...)
+}
+
+// AskContext POSTs /ask?keys=1 and reconstructs typed answers from
+// their wire form: names and binding values re-parse from their
+// display rendering (tree.ParseName/ParseValue are its inverses), and
+// the producer's merge key rides along as Answer.WireKey.
+func (c *Client) AskContext(ctx context.Context, patternSrc string, functors ...string) ([]mediator.Answer, error) {
+	body, err := json.Marshal(wire.AskRequest{Pattern: patternSrc, Functors: functors})
+	if err != nil {
+		return nil, err
+	}
+	var out wire.AskResponse
+	if err := c.do(ctx, http.MethodPost, "/ask?keys=1", body, &out); err != nil {
+		return nil, err
+	}
+	c.gen.Store(out.Generation)
+	answers := make([]mediator.Answer, 0, len(out.Answers))
+	for _, wa := range out.Answers {
+		name, err := tree.ParseName(wa.Name)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: unparseable answer name %q: %w", c.name, wa.Name, err)
+		}
+		var binding engine.Binding
+		if len(wa.Binding) > 0 {
+			binding = make(engine.Binding, len(wa.Binding))
+			for v, disp := range wa.Binding {
+				val, err := tree.ParseValue(disp)
+				if err != nil {
+					return nil, fmt.Errorf("shard %s: unparseable binding %s=%q: %w", c.name, v, disp, err)
+				}
+				binding[v] = val
+			}
+		}
+		answers = append(answers, mediator.Answer{Name: name, Binding: binding, WireKey: wa.Key})
+	}
+	return answers, nil
+}
+
+// Functors implements Asker via GET /functors.
+func (c *Client) Functors() ([]string, error) {
+	var out wire.FunctorsResponse
+	if err := c.do(context.Background(), http.MethodGet, "/functors", nil, &out); err != nil {
+		return nil, err
+	}
+	c.gen.Store(out.Generation)
+	return out.Functors, nil
+}
+
+// Stats implements Asker: GET /stats?timing=0 decoded through the
+// shared StatsView renderer's inverse, so a federation aggregates a
+// remote child with the same fold it uses for a local one. A failed
+// fetch yields a snapshot whose Err carries the transport error.
+func (c *Client) Stats() mediator.Stats {
+	var out wire.StatsResponse
+	if err := c.do(context.Background(), http.MethodGet, "/stats?timing=0", nil, &out); err != nil {
+		return mediator.Stats{Err: err, Generation: c.Generation()}
+	}
+	s := out.Mediator.Stats()
+	c.gen.Store(s.Generation)
+	return s
+}
+
+// Generation is the last generation observed on any response (1
+// before the first).
+func (c *Client) Generation() int64 {
+	if g := c.gen.Load(); g > 0 {
+		return g
+	}
+	return 1
+}
+
+// do runs one round trip. Non-2xx responses decode the wire error
+// envelope into a typed *RemoteError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", c.name, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("shard %s: reading response: %w", c.name, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var envelope wire.ErrorResponse
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error.Code != "" {
+			return &RemoteError{Status: resp.StatusCode, Code: envelope.Error.Code, Message: envelope.Error.Message}
+		}
+		return &RemoteError{Status: resp.StatusCode, Code: "http_error",
+			Message: strings.TrimSpace(string(data))}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("shard %s: decoding response: %w", c.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Remote federation tests live in an external test package: they
+// stand up real yatserve instances (internal/serve imports federate,
+// so the in-package tests cannot).
+package federate_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"yat/internal/federate"
+	"yat/internal/mediator"
+	"yat/internal/serve"
+	"yat/internal/source"
+	"yat/internal/tree"
+	"yat/internal/workload"
+	"yat/internal/yatl"
+)
+
+func renderAnswers(answers []mediator.Answer) []string {
+	out := make([]string, len(answers))
+	for i, a := range answers {
+		var b strings.Builder
+		b.WriteString(a.Name.String())
+		vars := make([]string, 0, len(a.Binding))
+		for v := range a.Binding {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			b.WriteString(" " + v + "=" + a.Binding[v].Display())
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+func mustAsk(t *testing.T, a mediator.Asker, pattern string, functors ...string) []string {
+	t.Helper()
+	answers, err := a.Ask(pattern, functors...)
+	if err != nil {
+		t.Fatalf("Ask(%q, %v): %v", pattern, functors, err)
+	}
+	return renderAnswers(answers)
+}
+
+// childServer runs one shard's yatserve over httptest and returns a
+// dialed client.
+func childServer(t *testing.T, prog *yatl.Program, inputs *tree.Store) (*httptest.Server, *federate.Client) {
+	t.Helper()
+	s, err := serve.New(serve.Config{Prog: prog, Inputs: inputs, Pool: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c := federate.NewClient(ts.URL, nil)
+	t.Cleanup(c.Close)
+	return ts, c
+}
+
+// TestRemoteFederationEquivalence is the golden property across the
+// wire: a parent federation over remote yatserve children answers
+// byte-identically to a single-process mediator — names, bindings and
+// order survive the round trip through the ?keys=1 merge keys.
+func TestRemoteFederationEquivalence(t *testing.T) {
+	prog := yatl.MustParse(workload.SelectiveProgram(4))
+	inputs := workload.BrochureStore(5, 2, 4, 21)
+	single := mediator.New(prog, inputs, mediator.WithDemandDriven(true))
+
+	plans := federate.PlanShards(prog, 2)
+	var children []federate.Child
+	for _, p := range plans {
+		_, c := childServer(t, p.Prog, inputs)
+		children = append(children, federate.Child{Asker: c, Functors: p.Functors})
+	}
+	fed, err := federate.New(federate.Config{Children: children})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	functors, err := single.Functors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustAsk(t, fed, "X"); !reflect.DeepEqual(got, mustAsk(t, single, "X")) {
+		t.Errorf("remote bare ask diverged:\n got %v\nwant %v", got, mustAsk(t, single, "X"))
+	}
+	for _, f := range functors {
+		want := mustAsk(t, single, "X", f)
+		if got := mustAsk(t, fed, "X", f); !reflect.DeepEqual(got, want) {
+			t.Errorf("remote ask(%s) diverged:\n got %v\nwant %v", f, got, want)
+		}
+	}
+
+	// Remote discovery: a federation built without explicit functor
+	// lists asks each child for its own.
+	discovered, err := federate.New(federate.Config{Children: []federate.Child{
+		{Asker: children[0].Asker}, {Asker: children[1].Asker},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustAsk(t, discovered, "X"); !reflect.DeepEqual(got, mustAsk(t, single, "X")) {
+		t.Errorf("discovered federation diverged from the single mediator")
+	}
+}
+
+func TestClientFunctorsAndStats(t *testing.T) {
+	prog := yatl.MustParse(workload.SelectiveProgram(2))
+	inputs := workload.BrochureStore(2, 1, 2, 4)
+	_, c := childServer(t, prog, inputs)
+
+	fs, err := c.Functors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"Pview1", "Pview2"}; !reflect.DeepEqual(fs, want) {
+		t.Errorf("Functors() = %v, want %v", fs, want)
+	}
+	if _, err := c.Ask("X", "Pview1"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Err != nil {
+		t.Fatalf("remote stats errored: %v", st.Err)
+	}
+	if st.Generation != 1 {
+		t.Errorf("remote generation = %d, want 1", st.Generation)
+	}
+	if st.Asks == 0 {
+		t.Errorf("remote stats show no asks: %+v", st)
+	}
+}
+
+func TestClientRemoteErrorCode(t *testing.T) {
+	prog := yatl.MustParse(workload.SelectiveProgram(1))
+	_, c := childServer(t, prog, workload.BrochureStore(1, 1, 1, 1))
+	_, err := c.Ask("< unclosed")
+	var remote *federate.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want *RemoteError", err)
+	}
+	if remote.Code != "parse_error" || remote.Status != 400 {
+		t.Errorf("RemoteError = %+v, want parse_error/400", remote)
+	}
+}
+
+// TestKilledChildDegrades closes one child's listener mid-flight: the
+// parent's next ask degrades to the surviving shard's answers, and
+// the shard status shows the outage.
+func TestKilledChildDegrades(t *testing.T) {
+	prog := yatl.MustParse(workload.SelectiveProgram(4))
+	inputs := workload.BrochureStore(4, 2, 4, 17)
+	plans := federate.PlanShards(prog, 2)
+	ts0, c0 := childServer(t, plans[0].Prog, inputs)
+	_, c1 := childServer(t, plans[1].Prog, inputs)
+	fed, err := federate.New(federate.Config{
+		Children: []federate.Child{
+			{Name: "dying", Asker: c0, Functors: plans[0].Functors},
+			{Name: "alive", Asker: c1, Functors: plans[1].Functors},
+		},
+		Guard: &federate.GuardOptions{
+			Timeout: time.Second,
+			Retry:   &source.RetryOptions{MaxAttempts: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthyWant := mustAsk(t, fed, "X")
+	ts0.Close() // the kill
+
+	answers, err := fed.Ask("X")
+	if err != nil {
+		t.Fatalf("degraded ask must not error, got %v", err)
+	}
+	got := renderAnswers(answers)
+	if len(got) == 0 || len(got) >= len(healthyWant) {
+		t.Errorf("degraded ask returned %d answers, want a non-empty strict subset of %d",
+			len(got), len(healthyWant))
+	}
+	var alive, dying mediator.ShardStatus
+	for _, sh := range fed.Stats().Shards {
+		switch sh.Name {
+		case "alive":
+			alive = sh
+		case "dying":
+			dying = sh
+		}
+	}
+	if !alive.Healthy || dying.Healthy {
+		t.Errorf("shard health after kill: alive=%+v dying=%+v", alive, dying)
+	}
+	if !alive.Remote || !dying.Remote {
+		t.Error("remote children not flagged Remote in shard status")
+	}
+}
+
+// TestNoGoroutineLeak pins that a full remote-federation lifecycle —
+// serve children, scatter asks, shut down — leaves no goroutines
+// behind.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		prog := yatl.MustParse(workload.SelectiveProgram(2))
+		inputs := workload.BrochureStore(2, 1, 2, 2)
+		plans := federate.PlanShards(prog, 2)
+		ts0, c0 := childServer(t, plans[0].Prog, inputs)
+		ts1, c1 := childServer(t, plans[1].Prog, inputs)
+		fed, err := federate.New(federate.Config{Children: []federate.Child{
+			{Asker: c0, Functors: plans[0].Functors},
+			{Asker: c1, Functors: plans[1].Functors},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := fed.Ask("X"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c0.Close()
+		c1.Close()
+		ts0.Close()
+		ts1.Close()
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after shutdown", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,126 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"yat/internal/source"
+	"yat/internal/tree"
+)
+
+// GuardOptions tunes the fault-tolerance decorators wrapped around
+// every child call. The zero value (and a nil *GuardOptions) means a
+// 5s per-call timeout, one retry after 25ms, and a circuit breaker
+// with the source layer's defaults (open after 5 consecutive
+// failures, 30s cooldown).
+type GuardOptions struct {
+	// Timeout bounds each child call (retry attempts individually).
+	// 0 means 5s; negative disables the deadline.
+	Timeout time.Duration
+	// Retry tunes the retry decorator. Nil means {MaxAttempts: 2,
+	// BaseDelay: 25ms, MaxDelay: 250ms}; set MaxAttempts to 1 to
+	// disable retrying.
+	Retry *source.RetryOptions
+	// Breaker tunes the circuit breaker. Nil means the source layer's
+	// defaults.
+	Breaker *source.BreakerOptions
+	// Clock injects time into the retry backoff and breaker cooldown
+	// for tests; nil means the wall clock. An explicit Clock inside
+	// Retry or Breaker wins.
+	Clock source.Clock
+}
+
+// defaultGuard resolves nil and zero fields to the documented
+// defaults.
+func defaultGuard(g *GuardOptions) GuardOptions {
+	var out GuardOptions
+	if g != nil {
+		out = *g
+	}
+	if out.Timeout == 0 {
+		out.Timeout = 5 * time.Second
+	}
+	if out.Retry == nil {
+		out.Retry = &source.RetryOptions{
+			MaxAttempts: 2,
+			BaseDelay:   25 * time.Millisecond,
+			MaxDelay:    250 * time.Millisecond,
+		}
+	}
+	if out.Breaker == nil {
+		out.Breaker = &source.BreakerOptions{}
+	}
+	if out.Clock != nil {
+		if out.Retry.Clock == nil {
+			r := *out.Retry
+			r.Clock = out.Clock
+			out.Retry = &r
+		}
+		if out.Breaker.Clock == nil {
+			b := *out.Breaker
+			b.Clock = out.Clock
+			out.Breaker = &b
+		}
+	}
+	return out
+}
+
+// The guard chain reuses the source layer's decorators verbatim, so a
+// child Asker gets exactly the retry/breaker/timeout semantics (and
+// counters) a fault-tolerant source does. The decorators wrap
+// source.Source.Fetch, so the per-call work rides into the chain
+// through the context: callBox carries the closure, and the adapter
+// at the bottom of the chain invokes it. The chain is built once per
+// child — breaker state and retry counters persist across calls —
+// while each call supplies its own box.
+type callBox struct {
+	fn func(context.Context) error
+}
+
+type boxKey struct{}
+
+// askAdapter is the innermost Source of a child's guard chain.
+type askAdapter struct {
+	name string
+}
+
+func (a askAdapter) Name() string { return a.name }
+
+// guardStore is the inert store every successful guarded call
+// returns; the decorators never read or mutate it.
+var guardStore = tree.NewStore()
+
+func (a askAdapter) Fetch(ctx context.Context) (*tree.Store, error) {
+	box, _ := ctx.Value(boxKey{}).(*callBox)
+	if box == nil {
+		return nil, errors.New("federate: guard chain invoked without a call")
+	}
+	if err := box.fn(ctx); err != nil {
+		return nil, err
+	}
+	return guardStore, nil
+}
+
+// buildGuard assembles one child's decorator chain: breaker outside
+// retry (it counts final, post-retry outcomes), retry outside the
+// per-attempt timeout.
+func buildGuard(name string, g GuardOptions) source.Source {
+	var chain source.Source = askAdapter{name: name}
+	if g.Timeout > 0 {
+		chain = source.WithTimeout(chain, g.Timeout)
+	}
+	chain = source.WithRetry(chain, *g.Retry)
+	chain = source.WithBreaker(chain, *g.Breaker)
+	return chain
+}
+
+// call runs fn under the child's guard chain: bounded by the timeout,
+// retried on failure, rejected outright while the breaker is open.
+func callGuarded(ctx context.Context, chain source.Source, fn func(context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_, err := chain.Fetch(context.WithValue(ctx, boxKey{}, &callBox{fn: fn}))
+	return err
+}

@@ -479,11 +479,46 @@ func (m *Mediator) materialize(ctx context.Context, st *progState) (*engine.Resu
 	return res, warm, err
 }
 
+// Asker is anything that can answer pattern queries over a virtual
+// target: a local *Mediator, a remote shard client, or a federation
+// router. It is the narrow waist of the query surface — the serve
+// pool, the federation's scatter-gather and the tools all speak it,
+// so the three implementations are interchangeable.
+type Asker interface {
+	// Ask matches a pattern (YATL concrete syntax) against the target.
+	Ask(patternSrc string, functors ...string) ([]Answer, error)
+	// AskContext is Ask under a cancellation context.
+	AskContext(ctx context.Context, patternSrc string, functors ...string) ([]Answer, error)
+	// Functors lists the Skolem functors the target mints, sorted.
+	Functors() ([]string, error)
+	// Stats snapshots the implementation's counters.
+	Stats() Stats
+}
+
+var _ Asker = (*Mediator)(nil)
+
 // Answer is one query result: the identity of the target object and
 // the variable bindings of the match.
 type Answer struct {
 	Name    tree.Name
 	Binding engine.Binding
+	// WireKey, when non-empty, overrides MergeKey with the canonical
+	// key computed where the answer was produced. Remote shard clients
+	// set it from the wire so a federation's merge reproduces the
+	// child's exact sort order even if a display form failed to
+	// round-trip; locally produced answers leave it empty.
+	WireKey string `json:"-"`
+}
+
+// MergeKey is the canonical (Name, Binding) sort key doAsk orders
+// answers by, shared with the federation's cross-shard merge. The NUL
+// separator cannot occur inside either component key (both render
+// strings Go-quoted), so concatenation stays injective.
+func (a *Answer) MergeKey() string {
+	if a.WireKey != "" {
+		return a.WireKey
+	}
+	return a.Name.Key() + "\x00" + a.Binding.Key()
 }
 
 // Ask matches a pattern (in YATL concrete syntax) against the virtual
@@ -895,6 +930,35 @@ type Stats struct {
 	// fault-tolerant sources (WithSources), in declaration order;
 	// empty otherwise.
 	Sources []SourceStatus
+	// Shards reports per-child health for a federation router, in
+	// child declaration order; empty for a plain mediator. Aggregate
+	// concatenates them, so a pool of federations reports every lane's
+	// children.
+	Shards []ShardStatus
+}
+
+// ShardStatus is one federation child's health as the router sees it:
+// the guard chain's counters (attempts, retries, breaker state) plus
+// the outcome of the router's most recent call.
+type ShardStatus struct {
+	// Name identifies the child (configured name or client base URL).
+	Name string
+	// Remote reports the child is reached over HTTP rather than
+	// in-process.
+	Remote bool
+	// Functors is the number of functor groups routed to the child.
+	Functors int
+	// Asks and Failures count the router's calls into the child and
+	// how many of them errored after the guard chain gave up.
+	Asks, Failures int64
+	// Healthy reports the most recent call succeeded (true before the
+	// first call: a child is innocent until it fails).
+	Healthy bool
+	// Breaker is the guard chain's breaker state ("closed", "open",
+	// "half-open"; empty when no breaker is configured).
+	Breaker string
+	// LastErr is the most recent call error, "" when it succeeded.
+	LastErr string
 }
 
 // SourceStatus is one source's health as the mediator sees it: the

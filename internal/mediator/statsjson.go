@@ -7,9 +7,13 @@ package mediator
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
+
+	"yat/internal/engine"
+	"yat/internal/source"
 )
 
 // RunView is the engine-work portion of a StatsView.
@@ -37,6 +41,18 @@ type SourceView struct {
 	Entries      int     `json:"entries"`
 }
 
+// ShardView is one federation child's health in a StatsView.
+type ShardView struct {
+	Name     string `json:"name"`
+	Remote   bool   `json:"remote,omitempty"`
+	Functors int    `json:"functors"`
+	Asks     int64  `json:"asks"`
+	Failures int64  `json:"failures"`
+	Healthy  bool   `json:"healthy"`
+	Breaker  string `json:"breaker,omitempty"`
+	LastErr  string `json:"last_err,omitempty"`
+}
+
 // StatsView is the stable rendering of a Stats snapshot. Timing
 // fields (AskTimeMS, StaleAgeMS) are only populated when the view is
 // built with timing on, so untimed views are deterministic for a given
@@ -58,6 +74,7 @@ type StatsView struct {
 	PatchedRules   int64        `json:"patched_rules"`
 	Run            RunView      `json:"run"`
 	Sources        []SourceView `json:"sources,omitempty"`
+	Shards         []ShardView  `json:"shards,omitempty"`
 }
 
 // View builds the stable rendering of the snapshot. With timing off,
@@ -109,7 +126,83 @@ func (s Stats) View(timing bool) StatsView {
 		}
 		v.Sources = append(v.Sources, sv)
 	}
+	for _, sh := range s.Shards {
+		v.Shards = append(v.Shards, ShardView{
+			Name:     sh.Name,
+			Remote:   sh.Remote,
+			Functors: sh.Functors,
+			Asks:     sh.Asks,
+			Failures: sh.Failures,
+			Healthy:  sh.Healthy,
+			Breaker:  sh.Breaker,
+			LastErr:  sh.LastErr,
+		})
+	}
 	return v
+}
+
+// Stats inverts View for the untimed fields: it reconstructs a Stats
+// snapshot from its stable rendering. The remote shard client uses it
+// to turn GET /stats documents back into the Stats the Asker
+// interface promises, so a federation can Aggregate over remote
+// children with the same fold it uses for local ones. Wall-clock
+// fields survive the round trip only when the view carried them.
+func (v StatsView) Stats() Stats {
+	s := Stats{
+		Generation:     v.Generation,
+		Materialized:   v.Materialized,
+		Demand:         v.Demand,
+		Asks:           v.Asks,
+		CacheHits:      v.CacheHits,
+		CacheMisses:    v.CacheMisses,
+		AskTime:        time.Duration(v.AskTimeMS * float64(time.Millisecond)),
+		CachedRules:    v.CachedRules,
+		SliceRuns:      v.SliceRuns,
+		DeltaRuns:      v.DeltaRuns,
+		DeltaFallbacks: v.DeltaFallbacks,
+		PatchedRules:   v.PatchedRules,
+		Run: engine.Stats{
+			Activations: v.Run.Activations,
+			Bindings:    v.Run.Bindings,
+			Outputs:     v.Run.Outputs,
+			Rounds:      v.Run.Rounds,
+		},
+	}
+	if v.Err != "" {
+		s.Err = errors.New(v.Err)
+	}
+	for _, sv := range v.Sources {
+		s.Sources = append(s.Sources, SourceStatus{
+			Stats: source.Stats{
+				Name:         sv.Name,
+				Attempts:     sv.Attempts,
+				Failures:     sv.Failures,
+				Retries:      sv.Retries,
+				Timeouts:     sv.Timeouts,
+				BreakerState: sv.BreakerState,
+				BreakerOpens: sv.BreakerOpens,
+				Rejections:   sv.Rejections,
+				StaleServed:  sv.StaleServed,
+				StaleAge:     time.Duration(sv.StaleAgeMS * float64(time.Millisecond)),
+				LastErr:      sv.LastErr,
+			},
+			FetchErr: sv.FetchErr,
+			Entries:  sv.Entries,
+		})
+	}
+	for _, sh := range v.Shards {
+		s.Shards = append(s.Shards, ShardStatus{
+			Name:     sh.Name,
+			Remote:   sh.Remote,
+			Functors: sh.Functors,
+			Asks:     sh.Asks,
+			Failures: sh.Failures,
+			Healthy:  sh.Healthy,
+			Breaker:  sh.Breaker,
+			LastErr:  sh.LastErr,
+		})
+	}
+	return s
 }
 
 // JSON renders the snapshot as indented, key-stable JSON.
@@ -155,6 +248,21 @@ func (s Stats) Render(w io.Writer, timing bool) error {
 		}
 		fmt.Fprintln(w)
 	}
+	for _, sh := range v.Shards {
+		kind := "local"
+		if sh.Remote {
+			kind = "remote"
+		}
+		fmt.Fprintf(w, "  shard %s (%s): functors=%d asks=%d failures=%d healthy=%v",
+			sh.Name, kind, sh.Functors, sh.Asks, sh.Failures, sh.Healthy)
+		if sh.Breaker != "" {
+			fmt.Fprintf(w, " breaker=%s", sh.Breaker)
+		}
+		if sh.LastErr != "" {
+			fmt.Fprintf(w, " last-err=%q", sh.LastErr)
+		}
+		fmt.Fprintln(w)
+	}
 	return nil
 }
 
@@ -191,6 +299,9 @@ func Aggregate(ss ...Stats) Stats {
 		out.DeltaRuns += s.DeltaRuns
 		out.DeltaFallbacks += s.DeltaFallbacks
 		out.PatchedRules += s.PatchedRules
+		// Unlike Sources (shared chains, counted once), each snapshot's
+		// Shards describe that lane's own children; concatenate them.
+		out.Shards = append(out.Shards, s.Shards...)
 	}
 	return out
 }

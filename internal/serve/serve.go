@@ -41,7 +41,9 @@ import (
 	"time"
 
 	"yat/internal/engine"
+	"yat/internal/federate"
 	"yat/internal/mediator"
+	"yat/internal/serve/wire"
 	"yat/internal/source"
 	"yat/internal/trace"
 	"yat/internal/tree"
@@ -50,7 +52,14 @@ import (
 
 // Config assembles a Server.
 type Config struct {
-	// Prog is the conversion program to serve.
+	// Askers, when set, are the pool lanes themselves — any
+	// mediator.Asker: a federation router, remote shard clients, or
+	// pre-built mediators. Prog then becomes optional (it still feeds
+	// /explain and the healthz program name when given) and Pool is
+	// ignored.
+	Askers []mediator.Asker
+	// Prog is the conversion program to serve. Required unless Askers
+	// is set.
 	Prog *yatl.Program
 	// Inputs is the pre-materialized input store (may be nil when
 	// Sources feed the mediators instead).
@@ -73,11 +82,13 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Server is the long-running mediator service.
+// Server is the long-running mediator service. Its pool lanes are
+// Askers — local mediators, federation routers and remote shard
+// clients are interchangeable behind the query interface.
 type Server struct {
 	cfg    Config
 	demand bool
-	pool   []*mediator.Mediator
+	pool   []mediator.Asker
 	next   atomic.Uint64
 
 	admin sync.Mutex // serializes reload/refresh across the pool
@@ -93,14 +104,11 @@ type Server struct {
 // nil program or a traced option set instead of surprising the first
 // request.
 func New(cfg Config) (*Server, error) {
-	if cfg.Prog == nil {
-		return nil, errors.New("serve: Config.Prog is required")
+	if cfg.Prog == nil && len(cfg.Askers) == 0 {
+		return nil, errors.New("serve: Config.Prog or Config.Askers is required")
 	}
 	if engine.NewOptions(cfg.Options...).Trace != nil {
 		return nil, errors.New("serve: tracing is request-scoped; do not configure a pool-wide sink")
-	}
-	if cfg.Pool <= 0 {
-		cfg.Pool = 4
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
@@ -109,6 +117,13 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{cfg: cfg, demand: cfg.Demand == nil || *cfg.Demand, start: time.Now()}
+	if len(cfg.Askers) > 0 {
+		s.pool = append(s.pool, cfg.Askers...)
+		return s, nil
+	}
+	if cfg.Pool <= 0 {
+		cfg.Pool = 4
+	}
 	for i := 0; i < cfg.Pool; i++ {
 		s.pool = append(s.pool, mediator.New(cfg.Prog, cfg.Inputs, s.laneOptions(nil)...))
 	}
@@ -131,14 +146,40 @@ func (s *Server) laneOptions(sink trace.Sink) []engine.Option {
 }
 
 // lane picks the next pool lane, round-robin.
-func (s *Server) lane() *mediator.Mediator {
+func (s *Server) lane() mediator.Asker {
 	return s.pool[s.next.Add(1)%uint64(len(s.pool))]
 }
 
 // program is the currently served program (construction or the most
 // recent successful reload; every lane agrees outside an in-flight
-// reload).
-func (s *Server) program() *yatl.Program { return s.pool[0].Program() }
+// reload). Lanes that cannot report one — remote clients — fall back
+// to the configured program, which may be nil.
+func (s *Server) program() *yatl.Program {
+	if p, ok := s.pool[0].(interface{ Program() *yatl.Program }); ok {
+		if prog := p.Program(); prog != nil {
+			return prog
+		}
+	}
+	return s.cfg.Prog
+}
+
+// progName is the served program's display name, tolerating opaque
+// lanes.
+func (s *Server) progName() string {
+	if p := s.program(); p != nil {
+		return p.Name
+	}
+	return "(remote)"
+}
+
+// generationOf reads a lane's generation, through the optional
+// interface when offered, else from its stats snapshot.
+func generationOf(a mediator.Asker) int64 {
+	if g, ok := a.(interface{ Generation() int64 }); ok {
+		return g.Generation()
+	}
+	return a.Stats().Generation
+}
 
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -158,12 +199,15 @@ func (s *Server) Handler() http.Handler {
 // dispatch on them, so they only ever grow.
 func ErrorCode(err error) (code string, status int) {
 	var (
-		parseErr *yatl.ParseError
-		safety   *engine.SafetyError
-		unconv   *engine.ErrUnconverted
-		nondet   *engine.NonDetError
-		fixpoint *engine.FixpointError
-		fetch    *mediator.FetchError
+		parseErr   *yatl.ParseError
+		safety     *engine.SafetyError
+		unconv     *engine.ErrUnconverted
+		nondet     *engine.NonDetError
+		fixpoint   *engine.FixpointError
+		fetch      *mediator.FetchError
+		notFound   *mediator.NotFoundError
+		unroutable *federate.UnroutableError
+		fanout     *federate.FanoutError
 	)
 	switch {
 	case err == nil:
@@ -180,6 +224,12 @@ func ErrorCode(err error) (code string, status int) {
 		return "fixpoint_diverged", http.StatusUnprocessableEntity
 	case errors.As(err, &fetch):
 		return "sources_unavailable", http.StatusServiceUnavailable
+	case errors.As(err, &unroutable):
+		return "unroutable_functor", http.StatusNotFound
+	case errors.As(err, &fanout):
+		return "shards_unavailable", http.StatusServiceUnavailable
+	case errors.As(err, &notFound):
+		return "not_found", http.StatusNotFound
 	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout", http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -189,10 +239,7 @@ func ErrorCode(err error) (code string, status int) {
 	}
 }
 
-type errorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+type errorBody = wire.ErrorBody
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -204,39 +251,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	code, status := ErrorCode(err)
-	writeJSON(w, status, map[string]errorBody{
-		"error": {Code: code, Message: err.Error()},
+	writeJSON(w, status, wire.ErrorResponse{
+		Error: errorBody{Code: code, Message: err.Error()},
 	})
 }
 
-// AskRequest is the POST /ask body.
-type AskRequest struct {
-	// Pattern is the query, in YATL concrete pattern syntax.
-	Pattern string `json:"pattern"`
-	// Functors optionally restricts the ask to these Skolem functors
-	// (a demand-driven lane then materializes only their slices).
-	Functors []string `json:"functors,omitempty"`
-}
+// The request/response shapes live in internal/serve/wire, shared
+// with the federation's shard client and cmd/yatload; the aliases
+// keep this package's historical API surface.
+type (
+	// AskRequest is the POST /ask body.
+	AskRequest = wire.AskRequest
+	// AskAnswer is one answer on the wire.
+	AskAnswer = wire.AskAnswer
+	// AskResponse is the POST /ask (and GET /explain) response.
+	AskResponse = wire.AskResponse
+)
 
-// AskAnswer is one answer on the wire.
-type AskAnswer struct {
-	// Name is the Skolem identity of the matched target object.
-	Name string `json:"name"`
-	// Binding maps each pattern variable to its value's display form.
-	Binding map[string]string `json:"binding,omitempty"`
-}
-
-// AskResponse is the POST /ask (and GET /explain) response.
-type AskResponse struct {
-	Generation int64       `json:"generation"`
-	Count      int         `json:"count"`
-	Answers    []AskAnswer `json:"answers"`
-	// Profile is the request-scoped EXPLAIN profile, present only when
-	// the request asked for it (?explain=1, or GET /explain).
-	Profile json.RawMessage `json:"profile,omitempty"`
-}
-
-func wireAnswers(answers []mediator.Answer) []AskAnswer {
+// wireAnswers renders answers for the wire; withKeys adds each
+// answer's canonical merge key (?keys=1 — the shard client always
+// asks, so a parent federation can merge by the producer's order).
+func wireAnswers(answers []mediator.Answer, withKeys bool) []AskAnswer {
 	out := make([]AskAnswer, 0, len(answers))
 	for _, a := range answers {
 		wa := AskAnswer{Name: a.Name.String()}
@@ -245,6 +280,9 @@ func wireAnswers(answers []mediator.Answer) []AskAnswer {
 			for k, v := range a.Binding {
 				wa.Binding[k] = v.Display()
 			}
+		}
+		if withKeys {
+			wa.Key = a.MergeKey()
 		}
 		out = append(out, wa)
 	}
@@ -284,9 +322,9 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, AskResponse{
-		Generation: med.Generation(),
+		Generation: generationOf(med),
 		Count:      len(answers),
-		Answers:    wireAnswers(answers),
+		Answers:    wireAnswers(answers, r.URL.Query().Get("keys") == "1"),
 	})
 }
 
@@ -295,9 +333,19 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 // the EXPLAIN covers exactly this request (cold, slices and cache
 // decisions visible) and the pool's nil-sink lanes stay untouched.
 func (s *Server) explainAsk(w http.ResponseWriter, r *http.Request, pattern string, functors []string) {
+	prog := s.program()
+	if prog == nil {
+		// Askers-only servers over remote lanes have no local program to
+		// re-run under a profile.
+		s.failed.Add(1)
+		writeJSON(w, http.StatusNotImplemented, wire.ErrorResponse{
+			Error: errorBody{Code: "explain_unavailable",
+				Message: "EXPLAIN needs a local program; this server fronts opaque askers"}})
+		return
+	}
 	timing := r.URL.Query().Get("timing") == "1"
 	profile := trace.NewProfile()
-	med := mediator.New(s.program(), s.cfg.Inputs, s.laneOptions(profile)...)
+	med := mediator.New(prog, s.cfg.Inputs, s.laneOptions(profile)...)
 	answers, err := med.AskContext(r.Context(), pattern, functors...)
 	if err != nil {
 		s.failed.Add(1)
@@ -314,7 +362,7 @@ func (s *Server) explainAsk(w http.ResponseWriter, r *http.Request, pattern stri
 	writeJSON(w, http.StatusOK, AskResponse{
 		Generation: med.Generation(),
 		Count:      len(answers),
-		Answers:    wireAnswers(answers),
+		Answers:    wireAnswers(answers, r.URL.Query().Get("keys") == "1"),
 		Profile:    data,
 	})
 }
@@ -349,21 +397,10 @@ func (s *Server) handleFunctors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.served.Add(1)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"generation": med.Generation(),
-		"functors":   fs,
+	writeJSON(w, http.StatusOK, wire.FunctorsResponse{
+		Functors:   fs,
+		Generation: generationOf(med),
 	})
-}
-
-// serverStats is the server's own half of GET /stats; the mediator
-// half is the shared mediator.StatsView renderer.
-type serverStats struct {
-	Pool     int     `json:"pool"`
-	Inflight int64   `json:"inflight"`
-	Served   int64   `json:"served"`
-	Failed   int64   `json:"failed"`
-	Reloads  int64   `json:"reloads"`
-	UptimeMS float64 `json:"uptime_ms,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -373,7 +410,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		views[i] = m.Stats()
 	}
 	agg := mediator.Aggregate(views...)
-	srv := serverStats{
+	srv := wire.ServerStats{
 		Pool:     len(s.pool),
 		Inflight: s.inflight.Load(),
 		Served:   s.served.Load(),
@@ -383,19 +420,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if timing {
 		srv.UptimeMS = float64(time.Since(s.start)) / float64(time.Millisecond)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"server":   srv,
-		"mediator": agg.View(timing),
+	writeJSON(w, http.StatusOK, wire.StatsResponse{
+		Mediator: agg.View(timing),
+		Server:   srv,
 	})
-}
-
-// sourceHealth is one source's entry in GET /healthz.
-type sourceHealth struct {
-	Name     string `json:"name"`
-	Healthy  bool   `json:"healthy"`
-	FetchErr string `json:"fetch_err,omitempty"`
-	Breaker  string `json:"breaker,omitempty"`
-	Entries  int    `json:"entries"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -410,11 +438,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	st := views[0]
 	status := "ok"
-	var sources []sourceHealth
+	var sources []wire.SourceHealth
 	if n := len(st.Sources); n > 0 {
 		failing := 0
 		for i, src := range st.Sources {
-			h := sourceHealth{Name: src.Name, Healthy: true, Breaker: src.BreakerState}
+			h := wire.SourceHealth{Name: src.Name, Healthy: true, Breaker: src.BreakerState}
 			for _, v := range views {
 				lane := v.Sources[i]
 				if lane.FetchErr != "" {
@@ -440,15 +468,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			status = "degraded"
 		}
 	}
+	// A federated lane reports its children; a dead shard degrades the
+	// service (partial answers) rather than failing it — that is the
+	// point of the scatter-gather's fault isolation.
+	var shards []wire.ShardHealth
+	if n := len(st.Shards); n > 0 {
+		failing := 0
+		for _, sh := range st.Shards {
+			h := wire.ShardHealth{Name: sh.Name, Healthy: sh.Healthy, Breaker: sh.Breaker, LastErr: sh.LastErr}
+			if !h.Healthy {
+				failing++
+			}
+			shards = append(shards, h)
+		}
+		switch {
+		case failing == 0:
+		case failing == n:
+			status = "failing"
+		case status == "ok":
+			status = "degraded"
+		}
+	}
 	code := http.StatusOK
 	if status == "failing" {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"status":     status,
-		"generation": st.Generation,
-		"program":    s.program().Name,
-		"sources":    sources,
+	writeJSON(w, code, wire.HealthResponse{
+		Generation: st.Generation,
+		Program:    s.progName(),
+		Sources:    sources,
+		Status:     status,
+		Shards:     shards,
 	})
 }
 
@@ -475,11 +525,24 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.admin.Lock()
-	for _, m := range s.pool {
-		m.Reload(prog)
+	// Check every lane supports reloading before mutating any: a mixed
+	// pool must not end up half-swapped.
+	reloaders := make([]interface{ Reload(*yatl.Program) }, len(s.pool))
+	for i, m := range s.pool {
+		rl, ok := m.(interface{ Reload(*yatl.Program) })
+		if !ok {
+			writeJSON(w, http.StatusNotImplemented, wire.ErrorResponse{
+				Error: errorBody{Code: "reload_unsupported",
+					Message: "pool lanes do not support hot reload (remote or federated askers)"}})
+			return
+		}
+		reloaders[i] = rl
 	}
-	gen := s.pool[0].Generation()
+	s.admin.Lock()
+	for _, rl := range reloaders {
+		rl.Reload(prog)
+	}
+	gen := generationOf(s.pool[0])
 	s.admin.Unlock()
 	s.reloads.Add(1)
 	s.cfg.Logf("yatserve: reloaded program %q (%d rules), generation %d",
@@ -505,10 +568,25 @@ func (s *Server) handleRefreshSource(w http.ResponseWriter, r *http.Request) {
 			"error": {Code: "unknown_source", Message: fmt.Sprintf("no source named %q", name)}})
 		return
 	}
+	refreshers := make([]interface {
+		RefreshSource(context.Context, string) error
+	}, len(s.pool))
+	for i, m := range s.pool {
+		rf, ok := m.(interface {
+			RefreshSource(context.Context, string) error
+		})
+		if !ok {
+			writeJSON(w, http.StatusNotImplemented, wire.ErrorResponse{
+				Error: errorBody{Code: "refresh_unsupported",
+					Message: "pool lanes do not support source refresh (remote or federated askers)"}})
+			return
+		}
+		refreshers[i] = rf
+	}
 	s.admin.Lock()
 	defer s.admin.Unlock()
-	for _, m := range s.pool {
-		if err := m.RefreshSource(r.Context(), name); err != nil {
+	for _, rf := range refreshers {
+		if err := rf.RefreshSource(r.Context(), name); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -525,7 +603,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	s.cfg.Logf("yatserve: listening on %s (pool %d, program %q)",
-		ln.Addr(), len(s.pool), s.program().Name)
+		ln.Addr(), len(s.pool), s.progName())
 	select {
 	case err := <-errc:
 		return err

@@ -1,0 +1,113 @@
+// Package wire defines the HTTP/JSON types of the yatserve protocol,
+// shared by the server (internal/serve), the federation's remote
+// shard client (internal/federate) and the load driver (cmd/yatload).
+// One definition means the three can never drift; the JSON field
+// names are part of the wire contract, pinned by the byte-stability
+// test, and only ever grow.
+package wire
+
+import (
+	"encoding/json"
+
+	"yat/internal/mediator"
+)
+
+// AskRequest is the POST /ask body.
+type AskRequest struct {
+	// Pattern is the query, in YATL concrete pattern syntax.
+	Pattern string `json:"pattern"`
+	// Functors optionally restricts the ask to these Skolem functors
+	// (a demand-driven lane then materializes only their slices).
+	Functors []string `json:"functors,omitempty"`
+}
+
+// AskAnswer is one answer on the wire.
+type AskAnswer struct {
+	// Name is the Skolem identity of the matched target object.
+	Name string `json:"name"`
+	// Binding maps each pattern variable to its value's display form.
+	Binding map[string]string `json:"binding,omitempty"`
+	// Key is the producer-computed canonical merge key
+	// (mediator.Answer.MergeKey), present only when the request asked
+	// for it (?keys=1). The federation's shard client always asks: the
+	// parent merges shard streams by this key, so the global order is
+	// the child's exact order even if a display form fails to
+	// round-trip.
+	Key string `json:"key,omitempty"`
+}
+
+// AskResponse is the POST /ask (and GET /explain) response.
+type AskResponse struct {
+	Generation int64       `json:"generation"`
+	Count      int         `json:"count"`
+	Answers    []AskAnswer `json:"answers"`
+	// Profile is the request-scoped EXPLAIN profile, present only when
+	// the request asked for it (?explain=1, or GET /explain).
+	Profile json.RawMessage `json:"profile,omitempty"`
+}
+
+// ErrorBody is the error payload inside an ErrorResponse.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the envelope of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// FunctorsResponse is the GET /functors response. Field order matches
+// the historical document (keys were alphabetical when it was built
+// from a map).
+type FunctorsResponse struct {
+	Functors   []string `json:"functors"`
+	Generation int64    `json:"generation"`
+}
+
+// ServerStats is the server's own half of GET /stats; the mediator
+// half is the shared mediator.StatsView renderer.
+type ServerStats struct {
+	Pool     int     `json:"pool"`
+	Inflight int64   `json:"inflight"`
+	Served   int64   `json:"served"`
+	Failed   int64   `json:"failed"`
+	Reloads  int64   `json:"reloads"`
+	UptimeMS float64 `json:"uptime_ms,omitempty"`
+}
+
+// StatsResponse is the GET /stats document. Mediator precedes Server
+// to preserve the historical (alphabetical) key order byte-for-byte.
+type StatsResponse struct {
+	Mediator mediator.StatsView `json:"mediator"`
+	Server   ServerStats        `json:"server"`
+}
+
+// SourceHealth is one source's entry in GET /healthz.
+type SourceHealth struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	FetchErr string `json:"fetch_err,omitempty"`
+	Breaker  string `json:"breaker,omitempty"`
+	Entries  int    `json:"entries"`
+}
+
+// ShardHealth is one federation child's entry in GET /healthz,
+// present only when the server fronts a federation.
+type ShardHealth struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker,omitempty"`
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// HealthResponse is the GET /healthz document. Field order preserves
+// the historical (alphabetical) key order; Shards rides at the end,
+// omitted for non-federated servers so old documents are unchanged.
+type HealthResponse struct {
+	Generation int64          `json:"generation"`
+	Program    string         `json:"program"`
+	Sources    []SourceHealth `json:"sources"`
+	Status     string         `json:"status"`
+	Shards     []ShardHealth  `json:"shards,omitempty"`
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+
+	"yat/internal/mediator"
+)
+
+// TestWireByteStability pins the JSON field names and order of every
+// wire document. These bytes are the protocol: yatserve emits them,
+// the shard client and yatload parse them, and the CI gates diff
+// them. A failure here means a wire-contract break — add fields at
+// the end with omitempty, never rename or reorder.
+func TestWireByteStability(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  any
+		want string
+	}{
+		{
+			"ask_request",
+			AskRequest{Pattern: "X", Functors: []string{"Psup"}},
+			`{"pattern":"X","functors":["Psup"]}`,
+		},
+		{
+			"ask_answer_bare",
+			AskAnswer{Name: "Psup(\"VW\")"},
+			`{"name":"Psup(\"VW\")"}`,
+		},
+		{
+			"ask_answer_keyed",
+			AskAnswer{Name: "Psup(\"VW\")", Binding: map[string]string{"N": `"VW"`}, Key: "k"},
+			`{"name":"Psup(\"VW\")","binding":{"N":"\"VW\""},"key":"k"}`,
+		},
+		{
+			"ask_response",
+			AskResponse{Generation: 1, Count: 0, Answers: []AskAnswer{}},
+			`{"generation":1,"count":0,"answers":[]}`,
+		},
+		{
+			"error_envelope",
+			ErrorResponse{Error: ErrorBody{Code: "parse_error", Message: "boom"}},
+			`{"error":{"code":"parse_error","message":"boom"}}`,
+		},
+		{
+			"functors",
+			FunctorsResponse{Functors: []string{"Pcar"}, Generation: 2},
+			`{"functors":["Pcar"],"generation":2}`,
+		},
+		{
+			"server_stats",
+			ServerStats{Pool: 4, Inflight: 1, Served: 2, Failed: 3, Reloads: 4},
+			`{"pool":4,"inflight":1,"served":2,"failed":3,"reloads":4}`,
+		},
+		{
+			"source_health",
+			SourceHealth{Name: "s1", Healthy: true, Entries: 7},
+			`{"name":"s1","healthy":true,"entries":7}`,
+		},
+		{
+			"shard_health",
+			ShardHealth{Name: "shard0", Healthy: false, Breaker: "open", LastErr: "down"},
+			`{"name":"shard0","healthy":false,"breaker":"open","last_err":"down"}`,
+		},
+		{
+			"health_plain",
+			HealthResponse{Generation: 1, Program: "p", Sources: []SourceHealth{}, Status: "ok"},
+			`{"generation":1,"program":"p","sources":[],"status":"ok"}`,
+		},
+		{
+			"health_federated",
+			HealthResponse{Generation: 1, Program: "p", Sources: []SourceHealth{}, Status: "degraded",
+				Shards: []ShardHealth{{Name: "shard0", Healthy: true}}},
+			`{"generation":1,"program":"p","sources":[],"status":"degraded",` +
+				`"shards":[{"name":"shard0","healthy":true}]}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := json.Marshal(tc.doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != tc.want {
+				t.Errorf("wire bytes drifted:\n got %s\nwant %s", data, tc.want)
+			}
+		})
+	}
+}
+
+// TestStatsResponseKeyOrder pins that the stats document keeps the
+// historical key order: "mediator" before "server" (alphabetical, as
+// when the document was built from a map).
+func TestStatsResponseKeyOrder(t *testing.T) {
+	data, err := json.Marshal(StatsResponse{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := indexOf(data, `"mediator"`)
+	srv := indexOf(data, `"server"`)
+	if med < 0 || srv < 0 || med > srv {
+		t.Errorf("key order drifted: %s", data)
+	}
+	// The mediator half round-trips through the shared view type.
+	var doc struct {
+		Mediator mediator.StatsView `json:"mediator"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func indexOf(data []byte, sub string) int {
+	for i := 0; i+len(sub) <= len(data); i++ {
+		if string(data[i:i+len(sub)]) == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -56,6 +56,10 @@ const (
 	// attempts, breaker trips and stale-snapshot serves of the
 	// mediator's fault-tolerant source layer.
 	PhaseSource
+	// PhaseFederate groups federation events: per-shard scatter calls,
+	// degraded children and §4 compose fusions of the federation
+	// planner.
+	PhaseFederate
 
 	numPhases
 )
@@ -78,6 +82,8 @@ func (p Phase) String() string {
 		return "slice"
 	case PhaseSource:
 		return "source"
+	case PhaseFederate:
+		return "federate"
 	}
 	return fmt.Sprintf("phase(%d)", int(p))
 }
@@ -153,6 +159,21 @@ const (
 	// readable fallback reason, Count the number of re-run rules whose
 	// outputs actually changed.
 	KindDeltaFallback
+	// KindShardAsk records one scatter call into a federation child;
+	// Detail is the shard name, Count the number of answers it
+	// returned, Duration the call's wall time.
+	KindShardAsk
+	// KindShardDegraded records a scatter call the federation absorbed
+	// as a partial result: the child failed after its guard chain gave
+	// up. Detail carries the shard name and the error.
+	KindShardDegraded
+	// KindComposeFused records the federation planner fusing a
+	// cross-mediator pipeline stage with §4.3 composition; Detail
+	// names the two programs and the fused rule count, Count the fused
+	// rules. Its presence (and the absence of any intermediate-model
+	// materialization) is how tests assert the intermediate model
+	// never existed.
+	KindComposeFused
 )
 
 func (k Kind) String() string {
@@ -195,6 +216,12 @@ func (k Kind) String() string {
 		return "delta-applied"
 	case KindDeltaFallback:
 		return "delta-fallback"
+	case KindShardAsk:
+		return "shard-ask"
+	case KindShardDegraded:
+		return "shard-degraded"
+	case KindComposeFused:
+		return "compose-fused"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -266,6 +293,16 @@ type RuleProfile struct {
 	CacheMisses int `json:"cache_misses,omitempty"`
 }
 
+// ShardProfile aggregates a federation's scatter calls into one named
+// child: asks with degraded outcomes and the answers gathered.
+type ShardProfile struct {
+	Shard    string        `json:"shard"`
+	Asks     int           `json:"asks"`
+	Degraded int           `json:"degraded"`
+	Answers  int           `json:"answers"`
+	Wall     time.Duration `json:"wall_ns"`
+}
+
 // SourceProfile aggregates the source-layer activity of one named
 // source: fetches with failures, retry re-attempts, breaker trips and
 // stale-snapshot serves.
@@ -306,6 +343,11 @@ type Profile struct {
 	deltaLines     []string
 	// sources aggregates source-layer events per source name.
 	sources map[string]*SourceProfile
+	// shards aggregates federation scatter events per shard name;
+	// fusions retains the compose-fusion Detail strings in arrival
+	// order for the EXPLAIN `fused:` lines.
+	shards  map[string]*ShardProfile
+	fusions []string
 }
 
 // NewProfile returns an empty profile ready to attach to a run.
@@ -361,6 +403,23 @@ func (p *Profile) Emit(e Event) {
 	case KindStaleServed:
 		p.source(e.Detail).StaleServed++
 		return
+	case KindShardAsk:
+		sh := p.shard(e.Detail)
+		sh.Asks++
+		sh.Answers += e.Count
+		sh.Wall += e.Duration
+		return
+	case KindShardDegraded:
+		// Detail is "shard: error"; attribute to the shard name.
+		name := e.Detail
+		if i := strings.Index(name, ":"); i >= 0 {
+			name = name[:i]
+		}
+		p.shard(name).Degraded++
+		return
+	case KindComposeFused:
+		p.fusions = append(p.fusions, e.Detail)
+		return
 	}
 	r := p.rule(e.Rule)
 	ph := &r.Phases[e.Phase]
@@ -399,6 +458,18 @@ func (p *Profile) Emit(e Event) {
 		r.CacheMisses++
 		ph.Items++
 	}
+}
+
+func (p *Profile) shard(name string) *ShardProfile {
+	if p.shards == nil {
+		p.shards = map[string]*ShardProfile{}
+	}
+	s, ok := p.shards[name]
+	if !ok {
+		s = &ShardProfile{Shard: name}
+		p.shards[name] = s
+	}
+	return s
 }
 
 func (p *Profile) source(name string) *SourceProfile {
@@ -467,6 +538,31 @@ func (p *Profile) Wall() time.Duration {
 	return p.wall
 }
 
+// Shards returns the per-shard profiles sorted by shard name (the
+// values are copies; empty without federation events).
+func (p *Profile) Shards() []ShardProfile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.shards))
+	for n := range p.shards {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]ShardProfile, len(names))
+	for i, n := range names {
+		out[i] = *p.shards[n]
+	}
+	return out
+}
+
+// Fusions returns the compose-fusion summaries announced by the
+// federation planner, in arrival order (empty without fusions).
+func (p *Profile) Fusions() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.fusions...)
+}
+
 // Sources returns the per-source profiles sorted by source name (the
 // values are copies; empty without source-layer events).
 func (p *Profile) Sources() []SourceProfile {
@@ -529,12 +625,14 @@ var dataPhases = [...]Phase{PhaseMatch, PhaseFunctions, PhasePredicates, PhaseSk
 func (p *Profile) Render(w io.Writer, timing bool) error {
 	rules := p.Rules()
 	sources := p.Sources()
+	shards := p.Shards()
 	p.mu.Lock()
 	program, rounds, pending, wall := p.program, p.rounds, append([]int(nil), p.roundPending...), p.wall
 	slices, sliceRules := p.slices, p.sliceRules
 	analysis := p.analysis
 	deltaApplied, deltaFallbacks := p.deltaApplied, p.deltaFallbacks
 	deltaLines := append([]string(nil), p.deltaLines...)
+	fusions := append([]string(nil), p.fusions...)
 	p.mu.Unlock()
 
 	name := program
@@ -560,6 +658,17 @@ func (p *Profile) Render(w io.Writer, timing bool) error {
 		for _, l := range deltaLines {
 			fmt.Fprintf(w, "delta: %s\n", l)
 		}
+	}
+	for _, l := range fusions {
+		fmt.Fprintf(w, "fused: %s\n", l)
+	}
+	for _, s := range shards {
+		fmt.Fprintf(w, "shard %s  asks=%d degraded=%d answers=%d",
+			s.Shard, s.Asks, s.Degraded, s.Answers)
+		if timing {
+			fmt.Fprintf(w, " wall=%v", s.Wall)
+		}
+		fmt.Fprintln(w)
 	}
 	for _, s := range sources {
 		fmt.Fprintf(w, "source %s  fetches=%d failures=%d retries=%d breaker-opens=%d stale-served=%d",
@@ -649,6 +758,15 @@ type jsonSource struct {
 	WallNS       int64  `json:"wall_ns,omitempty"`
 }
 
+// jsonShard is the JSON shape of one federation shard block.
+type jsonShard struct {
+	Shard    string `json:"shard"`
+	Asks     int    `json:"asks"`
+	Degraded int    `json:"degraded"`
+	Answers  int    `json:"answers"`
+	WallNS   int64  `json:"wall_ns,omitempty"`
+}
+
 // jsonProfile is the JSON shape of the whole profile.
 type jsonProfile struct {
 	Program        string       `json:"program"`
@@ -662,6 +780,8 @@ type jsonProfile struct {
 	DeltaFallbacks int          `json:"delta_fallbacks,omitempty"`
 	Deltas         []string     `json:"deltas,omitempty"`
 	Analysis       string       `json:"analysis,omitempty"`
+	Fused          []string     `json:"fused,omitempty"`
+	Shards         []jsonShard  `json:"shards,omitempty"`
 	Sources        []jsonSource `json:"sources,omitempty"`
 	Rules          []jsonRule   `json:"rules"`
 }
@@ -683,11 +803,19 @@ func (p *Profile) JSON(timing bool) ([]byte, error) {
 		DeltaFallbacks: p.deltaFallbacks,
 		Deltas:         append([]string(nil), p.deltaLines...),
 		Analysis:       p.analysis,
+		Fused:          append([]string(nil), p.fusions...),
 	}
 	if timing {
 		doc.WallNS = p.wall.Nanoseconds()
 	}
 	p.mu.Unlock()
+	for _, s := range p.Shards() {
+		js := jsonShard{Shard: s.Shard, Asks: s.Asks, Degraded: s.Degraded, Answers: s.Answers}
+		if timing {
+			js.WallNS = s.Wall.Nanoseconds()
+		}
+		doc.Shards = append(doc.Shards, js)
+	}
 	for _, s := range p.Sources() {
 		js := jsonSource{Source: s.Source, Fetches: s.Fetches, Failures: s.Failures,
 			Retries: s.Retries, BreakerOpens: s.BreakerOpens, StaleServed: s.StaleServed}

@@ -68,6 +68,43 @@ func ParseStore(input string) (*Store, error) {
 	return store, nil
 }
 
+// ParseName reads one name in concrete syntax — a plain symbol or a
+// Skolem invocation `functor(arg, ...)` whose arguments may be any
+// value, tree-shaped values included. It is the inverse of
+// Name.String(): the wire layer uses it to reconstruct answer
+// identities from their display form.
+func ParseName(input string) (Name, error) {
+	p := &groundParser{src: input}
+	p.next()
+	n, err := p.parseName()
+	if err != nil {
+		return Name{}, err
+	}
+	if p.tok.kind != gtEOF {
+		return Name{}, p.errorf("unexpected trailing input %q", p.tok.text)
+	}
+	return n, nil
+}
+
+// ParseValue reads one value in concrete syntax, the inverse of
+// Value.Display(): scalars parse as themselves, `&name` as a Ref, and
+// bracketed tree syntax as a TreeVal. A leaf tree is indistinguishable
+// from its label value in display form, so it parses as the bare
+// value — which displays identically, keeping the round trip
+// byte-stable.
+func ParseValue(input string) (Value, error) {
+	p := &groundParser{src: input}
+	p.next()
+	v, err := p.parseValueOrTree()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != gtEOF {
+		return nil, p.errorf("unexpected trailing input %q", p.tok.text)
+	}
+	return v, nil
+}
+
 // FormatStore renders a store in the syntax accepted by ParseStore.
 func FormatStore(s *Store) string {
 	var b strings.Builder
@@ -274,7 +311,10 @@ func (p *groundParser) parseName() (Name, error) {
 	p.next()
 	var args []Value
 	for {
-		v, err := p.parseValue()
+		// Skolem arguments may be tree-shaped (a rule can mint
+		// identities over whole subtrees), so each argument position
+		// accepts full tree syntax, not just scalar values.
+		v, err := p.parseValueOrTree()
 		if err != nil {
 			return Name{}, err
 		}
@@ -289,6 +329,21 @@ func (p *groundParser) parseName() (Name, error) {
 		return Name{}, err
 	}
 	return SkolemName(functor, args...), nil
+}
+
+// parseValueOrTree reads a value that may carry tree structure: a
+// bare value when no children follow, else the whole subtree wrapped
+// as a TreeVal. The leaf/value ambiguity is resolved toward the bare
+// value, whose display form is identical.
+func (p *groundParser) parseValueOrTree() (Value, error) {
+	n, err := p.parseTree()
+	if err != nil {
+		return nil, err
+	}
+	if len(n.Children) == 0 {
+		return n.Label, nil
+	}
+	return TreeVal{Root: n}, nil
 }
 
 func (p *groundParser) parseTree() (*Node, error) {

@@ -47,6 +47,7 @@ import (
 	"yat/internal/analysis"
 	"yat/internal/compose"
 	"yat/internal/engine"
+	"yat/internal/federate"
 	"yat/internal/library"
 	"yat/internal/mediator"
 	"yat/internal/pattern"
@@ -298,8 +299,26 @@ var (
 // InstantiateOptions configures program instantiation/composition.
 type InstantiateOptions = compose.Options
 
-// ComposeOptions configures composition.
+// ComposeOptions configures composition. The struct form is legacy:
+// it doubles as a ComposeOption that replaces the configuration
+// wholesale, so pre-variadic call sites — including a literal nil —
+// still compile and behave.
 type ComposeOptions = compose.ComposeOptions
+
+// ComposeOption is one functional configuration item for
+// ComposePrograms, in the same style as the Run/NewMediator options.
+type ComposeOption = compose.ComposeOption
+
+var (
+	// WithSkipTypeCheck bypasses the §4.3 compatibility check.
+	WithSkipTypeCheck = compose.WithSkipTypeCheck
+	// WithComposeRegistry supplies the function registry used for
+	// constant folding during composition.
+	WithComposeRegistry = compose.WithRegistry
+	// WithComposeModel merges extra pattern definitions into the
+	// composition's model context.
+	WithComposeModel = compose.WithModel
+)
 
 // Instantiate specializes a general program onto a pattern (§4.1).
 func Instantiate(prog *Program, input *Pattern, opts *InstantiateOptions) (*Program, error) {
@@ -312,9 +331,11 @@ func Combine(name string, progs ...*Program) *Program {
 }
 
 // ComposePrograms fuses prg1 : M1 ↦ M2 and prg2 : M2' ↦ M3 into a
-// one-step M1 ↦ M3 program (§4.3).
-func ComposePrograms(prg1, prg2 *Program, opts *ComposeOptions) (*Program, error) {
-	return compose.Compose(prg1, prg2, opts)
+// one-step M1 ↦ M3 program (§4.3). Options are variadic: pass
+// WithSkipTypeCheck and friends, or a legacy *ComposeOptions struct
+// (including nil) which is itself an option.
+func ComposePrograms(prg1, prg2 *Program, opts ...ComposeOption) (*Program, error) {
+	return compose.Compose(prg1, prg2, opts...)
 }
 
 // Wrappers (Figure 6's runtime environment).
@@ -376,6 +397,73 @@ type SourceFetchError = mediator.FetchError
 // InvalidateSource when the named source (or source entry) does not
 // exist; Kind says which namespace the lookup missed.
 type MediatorNotFoundError = mediator.NotFoundError
+
+// Asker is the narrow query interface every mediator-shaped thing
+// satisfies: a *Mediator, a Federation router, a remote shard client.
+// Code written against Asker — the serve pool, the tools, another
+// federation — does not care which it holds.
+type Asker = mediator.Asker
+
+// Federated mediation (the internal/federate layer): a parent
+// mediator over child mediators — the Mask-Mediator-Wrapper pattern.
+// A Federation shards the virtual target across children by functor
+// group and serves Asks by scatter-gather with a deterministic merge;
+// its answers are byte-identical to a single mediator over the
+// unsharded program. Child calls run under the source layer's
+// retry/breaker/timeout decorators, so a dead child degrades an Ask
+// to partial results instead of failing it.
+//
+//	fed, _ := yat.NewFederation(yat.FederationConfig{
+//	    Programs: []*yat.Program{prog},
+//	    Shards:   4,
+//	    Inputs:   inputs,
+//	})
+//	answers, _ := fed.Ask("...", "Psup")
+type (
+	// Federation is the parent router; it implements Asker.
+	Federation = federate.Federation
+	// FederationConfig assembles a Federation: a program pipeline to
+	// shard, or explicit Children (in-process or remote).
+	FederationConfig = federate.Config
+	// FederationChild is one explicitly configured member.
+	FederationChild = federate.Child
+	// FederationGuardOptions tunes the per-child retry/breaker/timeout.
+	FederationGuardOptions = federate.GuardOptions
+	// ShardPlan is one child's share of a sharded program.
+	ShardPlan = federate.ShardPlan
+	// ShardClient is an Asker over a remote yatserve instance.
+	ShardClient = federate.Client
+	// ShardClientOptions tunes NewShardClient.
+	ShardClientOptions = federate.ClientOptions
+	// MediatorShardStatus is one child's health row in a federation's
+	// Stats.
+	MediatorShardStatus = mediator.ShardStatus
+
+	// UnroutableFunctorError reports an Ask for a functor no shard
+	// owns; matchable with errors.As across the facade.
+	UnroutableFunctorError = federate.UnroutableError
+	// FederationFanoutError is the every-shard-failed error — the
+	// federation degrades through partial failure, so only total
+	// failure aborts an Ask.
+	FederationFanoutError = federate.FanoutError
+	// ShardRemoteError is a non-2xx answer from a remote shard, with
+	// the wire protocol's stable error code.
+	ShardRemoteError = federate.RemoteError
+)
+
+// NewFederation builds a federated mediator from cfg.
+func NewFederation(cfg FederationConfig) (*Federation, error) {
+	return federate.New(cfg)
+}
+
+var (
+	// NewShardClient dials a remote yatserve child.
+	NewShardClient = federate.NewClient
+	// PlanShardsFor splits a program across n children by functor
+	// group (round-robin, declaration order) — the plan NewFederation
+	// uses, exposed for launching children as separate processes.
+	PlanShardsFor = federate.PlanShards
+)
 
 // Fault-tolerant sources (the internal/source layer). A Source feeds a
 // mediator live input trees; decorators compose resilience around it,
