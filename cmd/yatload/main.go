@@ -26,8 +26,15 @@
 //	-out       write the JSON report to a file instead of stdout
 //
 // The report is the wire.LoadReport schema: requests, errors, QPS,
-// p50/p95/p99/mean/max latency in milliseconds. Exit status is 1 when
-// any request failed, so scripts can gate on it directly.
+// p50/p95/p99/mean/max latency in milliseconds. A measured window
+// that completed no requests at all (e.g. the warmup swallowed the
+// whole run, or a -qps cap slower than the window) still emits a
+// valid report — zero QPS and zero percentiles, never NaN or Inf.
+//
+// Exit status: 0 on a measured window with no failures, 1 when any
+// request failed, 2 on usage errors, 3 when the window completed
+// zero requests (the report is vacuous — scripts gating on exit 0
+// must not mistake an empty window for a passing run).
 package main
 
 import (
@@ -120,6 +127,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		report.Latency.P50Ms, report.Latency.P95Ms, report.Latency.P99Ms)
 	if report.Errors > 0 {
 		return 1
+	}
+	if report.Requests == 0 {
+		fmt.Fprintln(stderr, "yatload: measured window completed zero requests (report is vacuous)")
+		return 3
 	}
 	return 0
 }
@@ -217,6 +228,12 @@ func drive(cfg driveConfig) (*wire.LoadReport, error) {
 				}
 				if perWorkerGap > 0 {
 					if rest := perWorkerGap - time.Since(start); rest > 0 {
+						// Never sleep past the deadline: a -qps cap slower than
+						// the window must end the run on time (with an empty
+						// report), not stall it for the rest of the gap.
+						if until := time.Until(deadline); rest > until {
+							rest = until + time.Millisecond
+						}
 						time.Sleep(rest)
 					}
 				}

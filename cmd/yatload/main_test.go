@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"yat/internal/serve"
+	"yat/internal/serve/wire"
 	"yat/internal/workload"
 	"yat/internal/yatl"
 )
@@ -63,6 +68,63 @@ func TestDriveAgainstServer(t *testing.T) {
 	}
 	if report.Latency.P99Ms < report.Latency.P50Ms || report.Latency.MaxMs < report.Latency.P99Ms {
 		t.Fatalf("incoherent latency summary: %+v", report.Latency)
+	}
+}
+
+// A measured window that completes zero requests still produces a
+// valid report — all-zero QPS and percentiles, serializable JSON, no
+// NaN or Inf — and run exits 3 so CI gates cannot mistake the vacuous
+// window for a passing run. A microscopic -qps cap forces the window
+// empty deterministically: the preflight and the first (warmup)
+// request succeed, then every worker sleeps past the deadline.
+func TestZeroRequestWindow(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Prog:   yatl.MustParse(workload.SelectiveProgram(1)),
+		Inputs: workload.BrochureStore(2, 1, 2, 7),
+		Pool:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	report, err := drive(driveConfig{
+		url:        ts.URL,
+		pattern:    defaultPattern,
+		functors:   []string{"Pview1"},
+		workers:    2,
+		warmup:     50 * time.Millisecond,
+		duration:   100 * time.Millisecond,
+		qps:        0.001, // one request per ~33 minutes: none lands in the window
+		allowEmpty: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests != 0 || report.Errors != 0 {
+		t.Fatalf("window not empty: %+v", report)
+	}
+	if report.QPS != 0 || report.Latency != (wire.LatencySummary{}) {
+		t.Fatalf("zero window not all-zero: qps=%v latency=%+v", report.QPS, report.Latency)
+	}
+	if data, err := json.Marshal(report); err != nil {
+		// NaN or Inf anywhere in the report would fail here.
+		t.Fatalf("zero-window report does not serialize: %v", err)
+	} else if strings.Contains(string(data), "null") {
+		t.Fatalf("zero-window report carries nulls: %s", data)
+	}
+
+	var stderr bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL, "-functors", "Pview1", "-workers", "2",
+		"-warmup", "50ms", "-duration", "100ms", "-qps", "0.001", "-allow-empty",
+	}, io.Discard, &stderr)
+	if code != 3 {
+		t.Fatalf("exit code %d, want 3\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "zero requests") {
+		t.Fatalf("stderr does not explain the empty window: %s", stderr.String())
 	}
 }
 

@@ -48,6 +48,13 @@
 //	              functor groups. This is how federation children are
 //	              launched
 //	-drain        graceful-drain deadline on shutdown (default 10s)
+//	-snapshot-dir directory for the durable warm-start snapshot. On
+//	              boot the server restores its lanes from
+//	              <dir>/yatserve.snapshot.json when the snapshot's
+//	              program+options hashes match (any mismatch boots
+//	              cold); POST /admin/snapshot writes one on demand
+//	-snapshot-on-drain  also write a snapshot during graceful shutdown
+//	              (after in-flight asks drain; needs -snapshot-dir)
 //	-quiet        suppress operational logs
 package main
 
@@ -99,6 +106,8 @@ func run(args []string, stderr io.Writer) int {
 		shardsFlag = fs.Int("shards", 0, "shard across N in-process federation children (0 = plain pool)")
 		shardFlag  = fs.String("shard", "", "i/n — serve only shard i of the program's n-way plan")
 		drainFlag  = fs.Duration("drain", 10*time.Second, "graceful-drain deadline on shutdown")
+		snapFlag   = fs.String("snapshot-dir", "", "directory for the durable warm-start snapshot (empty = disabled)")
+		snapDrain  = fs.Bool("snapshot-on-drain", false, "write a snapshot during graceful shutdown (needs -snapshot-dir)")
 		quietFlag  = fs.Bool("quiet", false, "suppress operational logs")
 	)
 	var childFlag stringList
@@ -123,10 +132,16 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 
+	if *snapDrain && *snapFlag == "" {
+		fmt.Fprintln(stderr, "yatserve: -snapshot-on-drain needs -snapshot-dir")
+		return 2
+	}
 	cfg := serve.Config{
-		Demand:       demandFlag,
-		Pool:         *poolFlag,
-		DrainTimeout: *drainFlag,
+		Demand:          demandFlag,
+		Pool:            *poolFlag,
+		DrainTimeout:    *drainFlag,
+		SnapshotDir:     *snapFlag,
+		SnapshotOnDrain: *snapDrain,
 	}
 	if len(progs) > 0 {
 		cfg.Prog = progs[0]

@@ -7,7 +7,9 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"yat/internal/tree"
 )
@@ -91,6 +93,68 @@ func (r *Registry) Register(f Func) { r.funcs[f.Name] = f }
 func (r *Registry) Lookup(name string) (Func, bool) {
 	f, ok := r.funcs[name]
 	return f, ok
+}
+
+// Fingerprint is a canonical description of the registry's surface:
+// every function's name and type signature, sorted by name. Two
+// registries with equal fingerprints expose the same callable names
+// with the same type filters — the property the mediator's cache
+// hashes rely on to detect that a Register between reloads may have
+// changed what identical rule text computes. Function bodies cannot
+// be fingerprinted, so replacing a function's implementation while
+// keeping its signature is invisible here; Register a distinct name
+// (or bump a version suffix) when that matters. A nil registry
+// fingerprints as the default builtin set, matching how a run
+// normalizes a nil Options.Registry.
+func (r *Registry) Fingerprint() string {
+	if r == nil {
+		return defaultFingerprint()
+	}
+	names := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := r.funcs[n]
+		b.WriteString(n)
+		b.WriteByte('(')
+		for i, p := range f.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(paramTypeKey(p))
+		}
+		b.WriteByte(')')
+		b.WriteString(paramTypeKey(f.Result))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// paramTypeKey renders one parameter type canonically ("*" = any).
+func paramTypeKey(p ParamType) string {
+	if len(p.Kinds) == 0 {
+		return "*"
+	}
+	parts := make([]string, len(p.Kinds))
+	for i, k := range p.Kinds {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+var (
+	defaultFP     string
+	defaultFPOnce sync.Once
+)
+
+// defaultFingerprint memoizes NewRegistry().Fingerprint(): the default
+// builtin set is immutable, so computing it once is enough.
+func defaultFingerprint() string {
+	defaultFPOnce.Do(func() { defaultFP = NewRegistry().Fingerprint() })
+	return defaultFP
 }
 
 // TypeCheck reports whether the arguments pass the function's type

@@ -28,7 +28,13 @@ type Client struct {
 	base string
 	name string
 	http *http.Client
-	gen  atomic.Int64
+	// ownsHTTP records whether NewClient built the http.Client itself.
+	// Close tears down connection pools only for owned clients — a
+	// caller-supplied ClientOptions.HTTPClient may be shared with the
+	// rest of the process and is never the federation's to drain.
+	ownsHTTP bool
+	closed   atomic.Bool
+	gen      atomic.Int64
 }
 
 var _ mediator.Asker = (*Client)(nil)
@@ -60,6 +66,7 @@ func NewClient(base string, opts *ClientOptions) *Client {
 	}
 	if c.http == nil {
 		c.http = &http.Client{}
+		c.ownsHTTP = true
 	}
 	return c
 }
@@ -67,8 +74,19 @@ func NewClient(base string, opts *ClientOptions) *Client {
 // Name is the client's display name for stats and errors.
 func (c *Client) Name() string { return c.name }
 
-// Close releases idle connections.
-func (c *Client) Close() { c.http.CloseIdleConnections() }
+// Close marks the client closed — subsequent asks fail with a typed
+// *ClosedError instead of racing a torn-down transport — and releases
+// idle connections, but only when the client owns its http.Client; a
+// transport supplied through ClientOptions belongs to the caller and
+// keeps its connection pool. Close is idempotent.
+func (c *Client) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	if c.ownsHTTP {
+		c.http.CloseIdleConnections()
+	}
+}
 
 // Ask implements Asker.
 func (c *Client) Ask(patternSrc string, functors ...string) ([]mediator.Answer, error) {
@@ -147,6 +165,9 @@ func (c *Client) Generation() int64 {
 // do runs one round trip. Non-2xx responses decode the wire error
 // envelope into a typed *RemoteError.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	if c.closed.Load() {
+		return &ClosedError{Shard: c.name}
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}

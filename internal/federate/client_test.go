@@ -5,11 +5,13 @@ package federate_test
 
 import (
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -238,4 +240,59 @@ func TestNoGoroutineLeak(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Errorf("goroutines: %d before, %d after shutdown", before, runtime.NumGoroutine())
+}
+
+// recordingTransport counts CloseIdleConnections calls — the
+// observable half of Close's ownership contract.
+type recordingTransport struct {
+	http.Transport
+	closes atomic.Int64
+}
+
+func (rt *recordingTransport) CloseIdleConnections() {
+	rt.closes.Add(1)
+	rt.Transport.CloseIdleConnections()
+}
+
+// Close must never tear down a caller-supplied http.Client's
+// connection pool: the federation does not own it.
+func TestCloseLeavesCallerClientAlone(t *testing.T) {
+	prog := yatl.MustParse(workload.SelectiveProgram(1))
+	ts, _ := childServer(t, prog, workload.BrochureStore(1, 1, 1, 1))
+
+	rt := &recordingTransport{}
+	c := federate.NewClient(ts.URL, &federate.ClientOptions{
+		HTTPClient: &http.Client{Transport: rt},
+	})
+	if _, err := c.Ask("X", "Pview1"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // idempotent
+	if n := rt.closes.Load(); n != 0 {
+		t.Fatalf("Close drained a caller-supplied client's pool %d times", n)
+	}
+}
+
+// Asks after Close fail deterministically with the typed error
+// instead of racing a torn-down transport.
+func TestAskAfterCloseIsTypedError(t *testing.T) {
+	prog := yatl.MustParse(workload.SelectiveProgram(1))
+	ts, _ := childServer(t, prog, workload.BrochureStore(1, 1, 1, 1))
+	c := federate.NewClient(ts.URL, nil)
+	if _, err := c.Ask("X", "Pview1"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	_, err := c.Ask("X", "Pview1")
+	var closed *federate.ClosedError
+	if !errors.As(err, &closed) {
+		t.Fatalf("post-Close Ask: %v, want *ClosedError", err)
+	}
+	if _, err := c.Functors(); !errors.As(err, &closed) {
+		t.Fatalf("post-Close Functors: %v, want *ClosedError", err)
+	}
+	if st := c.Stats(); !errors.As(st.Err, &closed) {
+		t.Fatalf("post-Close Stats.Err: %v, want *ClosedError", st.Err)
+	}
 }

@@ -43,6 +43,18 @@ func (e *FanoutError) Error() string {
 	return "federate: all shards failed: " + strings.Join(parts, "; ")
 }
 
+// ClosedError reports an ask issued to a shard client after its Close:
+// the caller has declared the child retired, so the federation fails
+// the call deterministically instead of racing a torn-down transport.
+type ClosedError struct {
+	// Shard is the client's display name.
+	Shard string
+}
+
+func (e *ClosedError) Error() string {
+	return fmt.Sprintf("federate: shard client %s is closed", e.Shard)
+}
+
 // RemoteError is a non-2xx response from a remote shard, carrying the
 // wire error code so the parent can reason about the child's failure
 // mode without string matching.

@@ -38,6 +38,7 @@ import (
 
 	"yat/internal/engine"
 	"yat/internal/pattern"
+	"yat/internal/snapshot"
 	"yat/internal/source"
 	"yat/internal/trace"
 	"yat/internal/tree"
@@ -160,7 +161,15 @@ type progState struct {
 	// computed once per program lifetime at construction/reload time.
 	// Invalidate reuses it (same program value); Reload recomputes.
 	facts *engine.ProgramFacts
-	num   int64
+	// progHash and optsHash identify the program text and the
+	// result-affecting engine options (registry surface included) this
+	// state computes under — the same canonical hashes the snapshot
+	// store keys durable generations by. Reload recomputes both: the
+	// options value is fixed per mediator, but the registry behind it
+	// is mutable, and cached outputs must not survive a surface change
+	// that identical rule text would now evaluate differently under.
+	progHash, optsHash string
+	num                int64
 }
 
 // sliceFor computes the (pruned, memoized) slice for the functors
@@ -223,8 +232,23 @@ type demandGen struct {
 	// demand-mode asks, keyed by pattern identity and functor list:
 	// the warm repeat of an identical ask skips matching entirely and
 	// returns a copy of the memoized slice. Cleared on every cache
-	// mutation; dies with the generation like every other memo here.
-	askMemo map[askKey][]Answer
+	// mutation; dies with the generation like every other memo here —
+	// unless a snapshot persists it (the entry then carries its
+	// pattern source text so the restore can re-key it).
+	askMemo map[askKey]memoVal
+	// restored marks a generation warm-started from a snapshot rather
+	// than computed by this process (surfaced in Stats).
+	restored bool
+}
+
+// memoVal is one ask memo entry: the answers plus the identity data a
+// snapshot needs to re-key the entry in another process (the pattern
+// source text — empty when the ask arrived pre-parsed and therefore
+// cannot be persisted — and the functor restriction).
+type memoVal struct {
+	answers  []Answer
+	src      string
+	functors []string
 }
 
 // askKey identifies one memoizable ask: the parsed pattern (by
@@ -247,7 +271,7 @@ func newDemandGen() *demandGen {
 		byFunctor:   map[string][]tree.StoreEntry{},
 		ruleSources: map[string]map[string]bool{},
 		degraded:    map[string]bool{},
-		askMemo:     map[askKey][]Answer{},
+		askMemo:     map[askKey]memoVal{},
 	}
 }
 
@@ -262,17 +286,19 @@ func (g *demandGen) lookupAsk(key askKey) ([]Answer, bool) {
 	if !ok {
 		return nil, false
 	}
-	if len(memo) == 0 {
+	if len(memo.answers) == 0 {
 		return nil, true
 	}
-	out := make([]Answer, len(memo))
-	copy(out, memo)
+	out := make([]Answer, len(memo.answers))
+	copy(out, memo.answers)
 	return out, true
 }
 
 // storeAsk memoizes a completed ask's answers, unless the cache
-// mutated since the snapshot the answers were derived from.
-func (g *demandGen) storeAsk(key askKey, out []Answer, version uint64) {
+// mutated since the snapshot the answers were derived from. src is
+// the pattern's source text when known ("" for pre-parsed asks, which
+// then memoize but cannot be persisted).
+func (g *demandGen) storeAsk(key askKey, src string, functors []string, out []Answer, version uint64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.version != version || len(g.askMemo) >= maxAskMemo {
@@ -280,7 +306,7 @@ func (g *demandGen) storeAsk(key askKey, out []Answer, version uint64) {
 	}
 	memo := make([]Answer, len(out))
 	copy(memo, out)
-	g.askMemo[key] = memo
+	g.askMemo[key] = memoVal{answers: memo, src: src, functors: append([]string(nil), functors...)}
 }
 
 // Mediator answers queries over the virtual target of a conversion.
@@ -342,6 +368,8 @@ func New(prog *yatl.Program, inputs *tree.Store, opts ...engine.Option) *Mediato
 		}
 	}
 	m.opts = engine.NewOptions(eng...)
+	m.cur.progHash = snapshot.HashProgram(prog)
+	m.cur.optsHash = snapshot.HashOptions(m.opts)
 	if m.demand {
 		m.cur.dgen = newDemandGen()
 	}
@@ -570,7 +598,7 @@ func (m *Mediator) AskContext(ctx context.Context, patternSrc string, functors .
 		m.askNanos.Add(time.Since(start).Nanoseconds())
 		return nil, fmt.Errorf("mediator: %w", err)
 	}
-	return m.askPattern(ctx, start, pt, functors)
+	return m.askPattern(ctx, start, patternSrc, pt, functors)
 }
 
 // AskPattern is Ask over a parsed pattern.
@@ -579,10 +607,12 @@ func (m *Mediator) AskPattern(pt *pattern.PTree, functors ...string) ([]Answer, 
 }
 
 // AskPatternContext is AskPattern with a cancellation context applied
-// to any engine run the query triggers.
+// to any engine run the query triggers. With no source text in hand,
+// the ask memoizes under the pattern's identity but its memo entry
+// cannot be persisted by a snapshot.
 func (m *Mediator) AskPatternContext(ctx context.Context, pt *pattern.PTree, functors ...string) ([]Answer, error) {
 	m.asks.Add(1)
-	return m.askPattern(ctx, time.Now(), pt, functors)
+	return m.askPattern(ctx, time.Now(), "", pt, functors)
 }
 
 // askPattern is the shared ask core; the caller has already counted
@@ -592,10 +622,10 @@ func (m *Mediator) AskPatternContext(ctx context.Context, pt *pattern.PTree, fun
 // — a hit only when the answer came entirely from an already-successful
 // materialization, a miss whenever engine work ran or was awaited,
 // errors included.
-func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.PTree, functors []string) ([]Answer, error) {
+func (m *Mediator) askPattern(ctx context.Context, start time.Time, src string, pt *pattern.PTree, functors []string) ([]Answer, error) {
 	// No defer: the closure it would capture allocates on every ask,
 	// and the demand cache-hit path budgets its allocations.
-	out, err := m.doAsk(ctx, pt, functors)
+	out, err := m.doAsk(ctx, src, pt, functors)
 	m.askNanos.Add(time.Since(start).Nanoseconds())
 	return out, err
 }
@@ -606,7 +636,7 @@ func (m *Mediator) askPattern(ctx context.Context, start time.Time, pt *pattern.
 // full-mode matcher — and with no per-ask state it is shared safely.
 var storelessMatcher = &engine.Matcher{}
 
-func (m *Mediator) doAsk(ctx context.Context, pt *pattern.PTree, functors []string) ([]Answer, error) {
+func (m *Mediator) doAsk(ctx context.Context, src string, pt *pattern.PTree, functors []string) ([]Answer, error) {
 	st := m.state()
 	var entries []tree.StoreEntry
 	var matcher *engine.Matcher
@@ -680,7 +710,7 @@ func (m *Mediator) doAsk(ctx context.Context, pt *pattern.PTree, functors []stri
 		})
 	}
 	if memoGen != nil {
-		memoGen.storeAsk(memoKey, out, memoVer)
+		memoGen.storeAsk(memoKey, src, functors, out, memoVer)
 	}
 	return out, nil
 }
@@ -908,6 +938,11 @@ type Stats struct {
 	// Generation is the current program-state generation number (1 on
 	// construction, +1 per Invalidate or Reload).
 	Generation int64
+	// Restored reports the current generation was warm-started from a
+	// persisted snapshot rather than computed by this process; its
+	// cached answers came from disk, validated by program and options
+	// hash.
+	Restored bool
 	// Demand reports the mediator evaluates demand-driven. The fields
 	// below are only meaningful when it is set.
 	Demand bool
@@ -1036,6 +1071,7 @@ func (m *Mediator) demandStats() Stats {
 	s := Stats{
 		Run:         g.stats,
 		Demand:      true,
+		Restored:    g.restored,
 		CachedRules: len(g.cached),
 		SliceRuns:   g.runs,
 		Err:         g.lastErr,
@@ -1066,7 +1102,8 @@ func (m *Mediator) demandStats() Stats {
 // old generation finish against its consistent snapshot.
 func (m *Mediator) Invalidate() {
 	m.mu.Lock()
-	next := &progState{prog: m.cur.prog, gen: &generation{}, facts: m.cur.facts, num: m.cur.num + 1}
+	next := &progState{prog: m.cur.prog, gen: &generation{}, facts: m.cur.facts,
+		progHash: m.cur.progHash, optsHash: m.cur.optsHash, num: m.cur.num + 1}
 	if m.demand {
 		next.dgen = newDemandGen()
 	}
@@ -1085,13 +1122,25 @@ func (m *Mediator) Invalidate() {
 // influenced its cached outputs changed. Every other group is evicted
 // through the same machinery InvalidateRule uses. A non-demand
 // mediator reconverts wholesale on the next query.
+//
+// Rule text alone is not the whole cache key: the options hash —
+// which folds in the builtin registry's surface — is recomputed here
+// and compared against the hash the cached entries were computed
+// under. A Register call between reloads changes what identical rule
+// text evaluates to, so a mismatch evicts everything instead of
+// carrying over entries the new surface would not reproduce.
 func (m *Mediator) Reload(prog *yatl.Program) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	old := m.cur
-	next := &progState{prog: prog, gen: &generation{}, facts: engine.AnalyzeProgram(prog), num: old.num + 1}
+	next := &progState{prog: prog, gen: &generation{}, facts: engine.AnalyzeProgram(prog),
+		progHash: snapshot.HashProgram(prog), optsHash: snapshot.HashOptions(m.opts), num: old.num + 1}
 	if m.demand {
-		next.dgen = old.dgen.cloneFor(old.prog, prog)
+		if next.optsHash == old.optsHash {
+			next.dgen = old.dgen.cloneFor(old.prog, prog)
+		} else {
+			next.dgen = newDemandGen()
+		}
 	}
 	m.cur = next
 }

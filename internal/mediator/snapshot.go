@@ -1,0 +1,243 @@
+// Durable warm starts: the mediator half of internal/snapshot.
+//
+// Snapshot serializes the current demand generation — the assembled
+// store, the per-rule cache with its recorded source dependencies,
+// and the ask memo — through the tree layer's canonical display
+// syntax, stamped with the progState's program and options hashes.
+// Restore is the inverse: it re-parses the payload into a fresh
+// demand generation and swaps it in atomically, but only after the
+// snapshot's hashes verify against what this mediator is about to
+// serve. Any mismatch returns a typed *snapshot.LoadError and leaves
+// the mediator exactly as cold as it was — the deterministic
+// fallback the whole layer is built around.
+package mediator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"yat/internal/engine"
+	"yat/internal/snapshot"
+	"yat/internal/tree"
+)
+
+// ErrSnapshotDemandOnly reports a Snapshot or Restore on a
+// full-materialization mediator. The durable generation store
+// persists the demand-mode per-rule cache; a full-mode mediator has
+// no such cache to persist or warm.
+var ErrSnapshotDemandOnly = errors.New("mediator: snapshot/restore requires a demand-driven mediator (WithDemandDriven)")
+
+// Snapshot captures the current demand generation as a persistable
+// snapshot, keyed by the canonical program+options hashes so a
+// restore can prove it is warming the exact computation it would
+// otherwise perform cold. In-flight asks are unaffected: the capture
+// happens under the generation lock against a consistent view.
+func (m *Mediator) Snapshot() (*snapshot.Snapshot, error) {
+	if !m.demand {
+		return nil, ErrSnapshotDemandOnly
+	}
+	st := m.state()
+	g := st.dgen
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	payload := &snapshot.Generation{
+		Store: tree.FormatStore(g.store),
+		Runs:  g.runs,
+		Stats: snapshot.RunStats{
+			Activations: g.stats.Activations,
+			Bindings:    g.stats.Bindings,
+			Outputs:     g.stats.Outputs,
+			Rounds:      g.stats.Rounds,
+		},
+	}
+
+	// One RuleCache per rule that holds any cached state: construct
+	// rules carry entries (possibly none — "cached and empty" must
+	// round-trip), support rules carry only their source record.
+	ruleSet := map[string]bool{}
+	for r := range g.cached {
+		ruleSet[r] = true
+	}
+	for r := range g.ruleSources {
+		ruleSet[r] = true
+	}
+	rules := make([]string, 0, len(ruleSet))
+	for r := range ruleSet {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	for _, r := range rules {
+		rc := snapshot.RuleCache{Rule: r, Cached: g.cached[r]}
+		if rc.Cached {
+			for _, e := range g.ruleEntries[r] {
+				rc.Entries = append(rc.Entries, snapshot.Entry{Name: e.Name.String(), Tree: e.Tree.String()})
+			}
+		}
+		if set := g.ruleSources[r]; len(set) > 0 {
+			keys := make([]string, 0, len(set))
+			for k := range set {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			rc.Sources = keys
+		}
+		payload.Rules = append(payload.Rules, rc)
+	}
+
+	for name, on := range g.degraded {
+		if on {
+			payload.Degraded = append(payload.Degraded, name)
+		}
+	}
+	sort.Strings(payload.Degraded)
+
+	// Memo entries persist only when the ask arrived as source text
+	// (AskContext); pre-parsed asks have no re-keyable identity in
+	// another process.
+	for _, val := range g.askMemo {
+		if val.src == "" {
+			continue
+		}
+		me := snapshot.MemoEntry{Pattern: val.src, Functors: val.functors,
+			Answers: []snapshot.MemoAnswer{}}
+		for _, a := range val.answers {
+			ma := snapshot.MemoAnswer{Name: a.Name.String()}
+			if len(a.Binding) > 0 {
+				ma.Binding = make(map[string]string, len(a.Binding))
+				for v, tv := range a.Binding {
+					ma.Binding[v] = tv.Display()
+				}
+			}
+			me.Answers = append(me.Answers, ma)
+		}
+		payload.AskMemo = append(payload.AskMemo, me)
+	}
+	sort.Slice(payload.AskMemo, func(i, j int) bool {
+		a, b := payload.AskMemo[i], payload.AskMemo[j]
+		if a.Pattern != b.Pattern {
+			return a.Pattern < b.Pattern
+		}
+		return strings.Join(a.Functors, "\x00") < strings.Join(b.Functors, "\x00")
+	})
+
+	return &snapshot.Snapshot{
+		Format:      snapshot.FormatVersion,
+		ProgramHash: st.progHash,
+		OptionsHash: st.optsHash,
+		Program:     st.prog.Name,
+		Generation:  st.num,
+		Payload:     payload,
+	}, nil
+}
+
+// Restore warms the mediator from a snapshot: it verifies the
+// snapshot's program and options hashes against the current state,
+// re-parses the payload into a fresh demand generation, and swaps it
+// in atomically. On any error the mediator is unchanged (cold). The
+// intended call site is boot, before traffic; a restore over a warm
+// generation replaces it, exactly like an Invalidate followed by a
+// warm fill.
+func (m *Mediator) Restore(s *snapshot.Snapshot) error {
+	if !m.demand {
+		return ErrSnapshotDemandOnly
+	}
+	st := m.state()
+	if err := s.Verify(st.progHash, st.optsHash); err != nil {
+		return err
+	}
+
+	g := newDemandGen()
+	g.restored = true
+	store, err := tree.ParseStore(s.Payload.Store)
+	if err != nil {
+		return fmt.Errorf("mediator: restoring snapshot store: %w", err)
+	}
+	g.store = store
+	for _, e := range store.Entries() {
+		g.byFunctor[e.Name.Functor] = append(g.byFunctor[e.Name.Functor], e)
+	}
+	for _, rc := range s.Payload.Rules {
+		if rc.Cached {
+			g.cached[rc.Rule] = true
+			entries := make([]tree.StoreEntry, 0, len(rc.Entries))
+			for _, pe := range rc.Entries {
+				name, err := tree.ParseName(pe.Name)
+				if err != nil {
+					return fmt.Errorf("mediator: restoring rule %s entry name %q: %w", rc.Rule, pe.Name, err)
+				}
+				// Reuse the store's tree when the entry is still the one
+				// committed there; re-parse only superseded entries.
+				t, ok := store.Get(name)
+				if !ok || t.String() != pe.Tree {
+					if t, err = tree.Parse(pe.Tree); err != nil {
+						return fmt.Errorf("mediator: restoring rule %s entry %q: %w", rc.Rule, pe.Name, err)
+					}
+				}
+				entries = append(entries, tree.StoreEntry{Name: name, Tree: t})
+			}
+			g.ruleEntries[rc.Rule] = entries
+		}
+		if len(rc.Sources) > 0 {
+			set := make(map[string]bool, len(rc.Sources))
+			for _, k := range rc.Sources {
+				set[k] = true
+			}
+			g.ruleSources[rc.Rule] = set
+		}
+	}
+	for _, name := range s.Payload.Degraded {
+		g.degraded[name] = true
+	}
+	g.stats = engine.Stats{
+		Activations: s.Payload.Stats.Activations,
+		Bindings:    s.Payload.Stats.Bindings,
+		Outputs:     s.Payload.Stats.Outputs,
+		Rounds:      s.Payload.Stats.Rounds,
+	}
+	g.runs = s.Payload.Runs
+
+	for _, me := range s.Payload.AskMemo {
+		pt, err := parsePatternCached(me.Pattern)
+		if err != nil {
+			return fmt.Errorf("mediator: restoring memoized pattern %q: %w", me.Pattern, err)
+		}
+		answers := make([]Answer, 0, len(me.Answers))
+		for _, ma := range me.Answers {
+			name, err := tree.ParseName(ma.Name)
+			if err != nil {
+				return fmt.Errorf("mediator: restoring memoized answer %q: %w", ma.Name, err)
+			}
+			var binding engine.Binding
+			if len(ma.Binding) > 0 {
+				binding = make(engine.Binding, len(ma.Binding))
+				for v, disp := range ma.Binding {
+					val, err := tree.ParseValue(disp)
+					if err != nil {
+						return fmt.Errorf("mediator: restoring memoized binding %s=%q: %w", v, disp, err)
+					}
+					binding[v] = val
+				}
+			}
+			answers = append(answers, Answer{Name: name, Binding: binding})
+		}
+		key := askKey{pt: pt, functors: strings.Join(me.Functors, "\x00")}
+		g.askMemo[key] = memoVal{answers: answers, src: me.Pattern,
+			functors: append([]string(nil), me.Functors...)}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-check against the state current at swap time: a reload racing
+	// the restore must not have its program replaced by a stale warm
+	// cache.
+	cur := m.cur
+	if cur.progHash != st.progHash || cur.optsHash != st.optsHash {
+		return s.Verify(cur.progHash, cur.optsHash)
+	}
+	m.cur = &progState{prog: cur.prog, gen: &generation{}, facts: cur.facts,
+		progHash: cur.progHash, optsHash: cur.optsHash, num: cur.num, dgen: g}
+	return nil
+}

@@ -63,6 +63,7 @@ type StatsView struct {
 	Materialized   bool         `json:"materialized"`
 	Err            string       `json:"err,omitempty"`
 	Demand         bool         `json:"demand"`
+	Restored       bool         `json:"restored,omitempty"`
 	Asks           int64        `json:"asks"`
 	CacheHits      int64        `json:"cache_hits"`
 	CacheMisses    int64        `json:"cache_misses"`
@@ -85,6 +86,7 @@ func (s Stats) View(timing bool) StatsView {
 		Generation:     s.Generation,
 		Materialized:   s.Materialized,
 		Demand:         s.Demand,
+		Restored:       s.Restored,
 		Asks:           s.Asks,
 		CacheHits:      s.CacheHits,
 		CacheMisses:    s.CacheMisses,
@@ -152,6 +154,7 @@ func (v StatsView) Stats() Stats {
 		Generation:     v.Generation,
 		Materialized:   v.Materialized,
 		Demand:         v.Demand,
+		Restored:       v.Restored,
 		Asks:           v.Asks,
 		CacheHits:      v.CacheHits,
 		CacheMisses:    v.CacheMisses,
@@ -216,6 +219,9 @@ func (s Stats) Render(w io.Writer, timing bool) error {
 	mode := "full"
 	if v.Demand {
 		mode = "demand"
+	}
+	if v.Restored {
+		mode += ", restored"
 	}
 	if _, err := fmt.Fprintf(w, "mediator stats (generation %d, %s mode)\n", v.Generation, mode); err != nil {
 		return err
@@ -284,6 +290,8 @@ func Aggregate(ss ...Stats) Stats {
 		out.Run.Outputs += s.Run.Outputs
 		out.Run.Rounds += s.Run.Rounds
 		out.Materialized = out.Materialized && s.Materialized
+		// A pool is warm-started only if every lane restored.
+		out.Restored = out.Restored && s.Restored
 		if out.Err == nil {
 			out.Err = s.Err
 		}

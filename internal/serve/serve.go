@@ -35,6 +35,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,7 @@ import (
 	"yat/internal/federate"
 	"yat/internal/mediator"
 	"yat/internal/serve/wire"
+	"yat/internal/snapshot"
 	"yat/internal/source"
 	"yat/internal/trace"
 	"yat/internal/tree"
@@ -78,9 +80,21 @@ type Config struct {
 	// DrainTimeout bounds the graceful drain of in-flight asks on
 	// shutdown (default 10s).
 	DrainTimeout time.Duration
+	// SnapshotDir, when set, enables durable warm starts: New restores
+	// every lane from <dir>/yatserve.snapshot.json when the file's
+	// program and options hashes match what the server is about to
+	// serve (any mismatch is logged and boots cold), and POST
+	// /admin/snapshot persists the warmest lane back to it.
+	SnapshotDir string
+	// SnapshotOnDrain also writes a snapshot during graceful shutdown,
+	// after in-flight asks drain.
+	SnapshotOnDrain bool
 	// Logf receives one-line operational logs (nil = silent).
 	Logf func(format string, args ...any)
 }
+
+// SnapshotFile is the name of the snapshot inside Config.SnapshotDir.
+const SnapshotFile = "yatserve.snapshot.json"
 
 // Server is the long-running mediator service. Its pool lanes are
 // Askers — local mediators, federation routers and remote shard
@@ -92,6 +106,14 @@ type Server struct {
 	next   atomic.Uint64
 
 	admin sync.Mutex // serializes reload/refresh across the pool
+
+	// Durable warm-start state; snapPath is empty when disabled.
+	snapPath     string
+	snapMu       sync.Mutex // serializes writes; guards the fields below
+	snapRestored bool
+	snapFallback string
+	snapSaves    int64
+	snapSaveErr  string
 
 	inflight atomic.Int64
 	served   atomic.Int64
@@ -117,17 +139,141 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{cfg: cfg, demand: cfg.Demand == nil || *cfg.Demand, start: time.Now()}
+	if cfg.SnapshotDir != "" {
+		s.snapPath = filepath.Join(cfg.SnapshotDir, SnapshotFile)
+	}
 	if len(cfg.Askers) > 0 {
 		s.pool = append(s.pool, cfg.Askers...)
-		return s, nil
+	} else {
+		if cfg.Pool <= 0 {
+			cfg.Pool = 4
+		}
+		for i := 0; i < cfg.Pool; i++ {
+			s.pool = append(s.pool, mediator.New(cfg.Prog, cfg.Inputs, s.laneOptions(nil)...))
+		}
 	}
-	if cfg.Pool <= 0 {
-		cfg.Pool = 4
-	}
-	for i := 0; i < cfg.Pool; i++ {
-		s.pool = append(s.pool, mediator.New(cfg.Prog, cfg.Inputs, s.laneOptions(nil)...))
+	if s.snapPath != "" {
+		s.restoreSnapshot()
 	}
 	return s, nil
+}
+
+// restoreSnapshot warm-starts the pool from the snapshot file. Every
+// failure — missing file, integrity, identity mismatch, a lane that
+// cannot restore — is a logged fallback to the cold boot New already
+// performed; the server comes up either fully warm or fully cold,
+// never half-restored answering stale conversions from some lanes.
+func (s *Server) restoreSnapshot() {
+	fallback := func(reason, detail string) {
+		s.snapFallback = reason
+		s.cfg.Logf("yatserve: cold boot (%s): %s", reason, detail)
+	}
+	snap, err := snapshot.Read(s.snapPath)
+	if err != nil {
+		var lerr *snapshot.LoadError
+		if errors.As(err, &lerr) {
+			fallback(string(lerr.Reason), err.Error())
+		} else {
+			fallback(string(snapshot.ReasonCorrupt), err.Error())
+		}
+		return
+	}
+	restorers := make([]interface {
+		Restore(*snapshot.Snapshot) error
+	}, len(s.pool))
+	for i, m := range s.pool {
+		r, ok := m.(interface {
+			Restore(*snapshot.Snapshot) error
+		})
+		if !ok {
+			fallback("unsupported", "pool lanes do not support restore (remote or federated askers)")
+			return
+		}
+		restorers[i] = r
+	}
+	for i, r := range restorers {
+		if err := r.Restore(snap); err != nil {
+			reason := "restore_error"
+			var lerr *snapshot.LoadError
+			if errors.As(err, &lerr) {
+				reason = string(lerr.Reason)
+			}
+			if i > 0 {
+				// Later-lane failures are config bugs (all lanes share program
+				// and options); re-cool the already-warmed lanes.
+				for _, m := range s.pool {
+					if inv, ok := m.(interface{ Invalidate() }); ok {
+						inv.Invalidate()
+					}
+				}
+			}
+			fallback(reason, err.Error())
+			return
+		}
+	}
+	s.snapRestored = true
+	s.cfg.Logf("yatserve: warm start from %s (generation %d, %d cached rules)",
+		s.snapPath, snap.Generation, len(snap.Payload.Rules))
+}
+
+// writeSnapshot persists the warmest lane (most cached rules — the
+// pool's lanes warm independently, so one file holds the best
+// available cache) to the snapshot path. Serialized by snapMu so a
+// drain and an admin request cannot interleave their temp files.
+func (s *Server) writeSnapshot() (*wire.SnapshotResponse, error) {
+	var (
+		warmest interface {
+			Snapshot() (*snapshot.Snapshot, error)
+		}
+		warmth int = -1
+	)
+	for _, m := range s.pool {
+		sn, ok := m.(interface {
+			Snapshot() (*snapshot.Snapshot, error)
+		})
+		if !ok {
+			continue
+		}
+		if n := m.Stats().CachedRules; n > warmth {
+			warmest, warmth = sn, n
+		}
+	}
+	if warmest == nil {
+		return nil, errors.New("serve: pool lanes do not support snapshots (remote or federated askers)")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	snap, err := warmest.Snapshot()
+	if err == nil {
+		var n int
+		if n, err = snapshot.Write(s.snapPath, snap); err == nil {
+			s.snapSaves++
+			s.snapSaveErr = ""
+			s.cfg.Logf("yatserve: snapshot %s (generation %d, %d bytes)",
+				s.snapPath, snap.Generation, n)
+			return &wire.SnapshotResponse{Path: s.snapPath, Generation: snap.Generation, Bytes: n}, nil
+		}
+	}
+	s.snapSaveErr = err.Error()
+	s.cfg.Logf("yatserve: snapshot failed: %v", err)
+	return nil, err
+}
+
+// snapshotStatus reports the warm-start state for /stats and
+// /healthz; nil when snapshots are not configured.
+func (s *Server) snapshotStatus() *wire.SnapshotStatus {
+	if s.snapPath == "" {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return &wire.SnapshotStatus{
+		Path:           s.snapPath,
+		Restored:       s.snapRestored,
+		FallbackReason: s.snapFallback,
+		Saves:          s.snapSaves,
+		LastSaveErr:    s.snapSaveErr,
+	}
 }
 
 // laneOptions assembles one mediator's option list: the configured
@@ -191,6 +337,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.HandleFunc("POST /admin/refresh-source/{name}", s.handleRefreshSource)
+	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	return mux
 }
 
@@ -420,6 +567,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if timing {
 		srv.UptimeMS = float64(time.Since(s.start)) / float64(time.Millisecond)
 	}
+	srv.Snapshot = s.snapshotStatus()
 	writeJSON(w, http.StatusOK, wire.StatsResponse{
 		Mediator: agg.View(timing),
 		Server:   srv,
@@ -499,6 +647,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Sources:    sources,
 		Status:     status,
 		Shards:     shards,
+		Snapshot:   s.snapshotStatus(),
 	})
 }
 
@@ -595,6 +744,22 @@ func (s *Server) handleRefreshSource(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"refreshed": name})
 }
 
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapPath == "" {
+		writeJSON(w, http.StatusNotImplemented, wire.ErrorResponse{
+			Error: errorBody{Code: "snapshot_unconfigured",
+				Message: "server was started without a snapshot directory"}})
+		return
+	}
+	resp, err := s.writeSnapshot()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, wire.ErrorResponse{
+			Error: errorBody{Code: "snapshot_failed", Message: err.Error()}})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // Serve runs the HTTP service on the listener until ctx is cancelled,
 // then drains: in-flight asks get up to DrainTimeout to finish before
 // the server gives up on them. A clean drain returns nil.
@@ -615,6 +780,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer cancel()
 	err := srv.Shutdown(dctx)
 	<-errc // Serve has returned http.ErrServerClosed
+	if s.cfg.SnapshotOnDrain && s.snapPath != "" {
+		// Persist the warm cache after the last ask finished, so the
+		// snapshot covers everything this process learned.
+		_, _ = s.writeSnapshot()
+	}
 	if err != nil {
 		s.cfg.Logf("yatserve: drain incomplete: %v", err)
 		return fmt.Errorf("serve: drain incomplete: %w", err)

@@ -4,6 +4,7 @@
 package wire
 
 import (
+	"math"
 	"sort"
 	"time"
 )
@@ -33,12 +34,14 @@ type LoadReport struct {
 }
 
 // Percentile reads the p-quantile (0 < p <= 100) from an ASCENDING
-// sorted latency slice using nearest-rank; zero on an empty slice.
+// sorted latency slice using nearest-rank — the smallest value with at
+// least p percent of the samples at or below it, rank ceil(n·p/100) —
+// zero on an empty slice.
 func Percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	rank := int(math.Ceil(float64(len(sorted))*p/100)) - 1
 	if rank < 0 {
 		rank = 0
 	}

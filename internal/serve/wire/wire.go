@@ -74,6 +74,37 @@ type ServerStats struct {
 	Failed   int64   `json:"failed"`
 	Reloads  int64   `json:"reloads"`
 	UptimeMS float64 `json:"uptime_ms,omitempty"`
+	// Snapshot rides at the end, omitted when no snapshot directory is
+	// configured, so historical documents are byte-identical.
+	Snapshot *SnapshotStatus `json:"snapshot,omitempty"`
+}
+
+// SnapshotStatus is the durable warm-start status, present in GET
+// /stats and GET /healthz only when the server was configured with a
+// snapshot directory.
+type SnapshotStatus struct {
+	// Path is the snapshot file the server restores from and writes to.
+	Path string `json:"path"`
+	// Restored reports whether this process warm-started its lanes from
+	// the file at boot.
+	Restored bool `json:"restored"`
+	// FallbackReason classifies why a boot fell back to cold when it
+	// did (snapshot.Reason: missing, corrupt, checksum, version,
+	// program_hash, options_hash).
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Saves counts successful snapshot writes by this process (drain
+	// and POST /admin/snapshot).
+	Saves int64 `json:"saves"`
+	// LastSaveErr is the most recent failed write's error, cleared by
+	// the next successful write.
+	LastSaveErr string `json:"last_save_err,omitempty"`
+}
+
+// SnapshotResponse is the POST /admin/snapshot response.
+type SnapshotResponse struct {
+	Path       string `json:"path"`
+	Generation int64  `json:"generation"`
+	Bytes      int    `json:"bytes"`
 }
 
 // StatsResponse is the GET /stats document. Mediator precedes Server
@@ -110,4 +141,7 @@ type HealthResponse struct {
 	Sources    []SourceHealth `json:"sources"`
 	Status     string         `json:"status"`
 	Shards     []ShardHealth  `json:"shards,omitempty"`
+	// Snapshot rides at the end, omitted when no snapshot directory is
+	// configured, so historical documents are byte-identical.
+	Snapshot *SnapshotStatus `json:"snapshot,omitempty"`
 }

@@ -69,6 +69,32 @@ func TestWireByteStability(t *testing.T) {
 			`{"generation":1,"program":"p","sources":[],"status":"ok"}`,
 		},
 		{
+			"server_stats_snapshot",
+			ServerStats{Pool: 1, Snapshot: &SnapshotStatus{
+				Path: "/tmp/s.json", Restored: true, Saves: 2}},
+			`{"pool":1,"inflight":0,"served":0,"failed":0,"reloads":0,` +
+				`"snapshot":{"path":"/tmp/s.json","restored":true,"saves":2}}`,
+		},
+		{
+			"snapshot_status_fallback",
+			SnapshotStatus{Path: "/tmp/s.json", FallbackReason: "checksum",
+				LastSaveErr: "disk full"},
+			`{"path":"/tmp/s.json","restored":false,"fallback_reason":"checksum",` +
+				`"saves":0,"last_save_err":"disk full"}`,
+		},
+		{
+			"snapshot_response",
+			SnapshotResponse{Path: "/tmp/s.json", Generation: 3, Bytes: 512},
+			`{"path":"/tmp/s.json","generation":3,"bytes":512}`,
+		},
+		{
+			"health_snapshot",
+			HealthResponse{Generation: 1, Program: "p", Sources: []SourceHealth{}, Status: "ok",
+				Snapshot: &SnapshotStatus{Path: "s", Restored: true, Saves: 1}},
+			`{"generation":1,"program":"p","sources":[],"status":"ok",` +
+				`"snapshot":{"path":"s","restored":true,"saves":1}}`,
+		},
+		{
 			"health_federated",
 			HealthResponse{Generation: 1, Program: "p", Sources: []SourceHealth{}, Status: "degraded",
 				Shards: []ShardHealth{{Name: "shard0", Healthy: true}}},

@@ -51,6 +51,7 @@ import (
 	"yat/internal/library"
 	"yat/internal/mediator"
 	"yat/internal/pattern"
+	"yat/internal/snapshot"
 	"yat/internal/source"
 	"yat/internal/trace"
 	"yat/internal/tree"
@@ -403,6 +404,34 @@ type MediatorNotFoundError = mediator.NotFoundError
 // Code written against Asker — the serve pool, the tools, another
 // federation — does not care which it holds.
 type Asker = mediator.Asker
+
+// Durable warm starts (the internal/snapshot layer): a versioned,
+// checksummed on-disk store for one mediator generation — the
+// materialized demand store, the per-rule cache, the ask memo —
+// keyed by canonical program+options hashes so a restored process
+// answers byte-identically to a cold one or not at all.
+//
+//	snap, _ := med.Snapshot()
+//	yat.WriteSnapshot("warm/yat.snapshot.json", snap)
+//	// ... later, in a new process over the same program and options:
+//	snap, _ = yat.ReadSnapshot("warm/yat.snapshot.json")
+//	if err := med.Restore(snap); err != nil { /* cold boot */ }
+type (
+	// MediatorSnapshot is one persistable mediator generation.
+	MediatorSnapshot = snapshot.Snapshot
+	// SnapshotLoadError is the typed fallback-to-cold error; its Reason
+	// says which invariant (checksum, version, program hash, ...) fired.
+	SnapshotLoadError = snapshot.LoadError
+	// SnapshotReason classifies a SnapshotLoadError.
+	SnapshotReason = snapshot.Reason
+)
+
+var (
+	// WriteSnapshot persists a snapshot atomically (temp file + rename).
+	WriteSnapshot = snapshot.Write
+	// ReadSnapshot loads and integrity-checks a snapshot file.
+	ReadSnapshot = snapshot.Read
+)
 
 // Federated mediation (the internal/federate layer): a parent
 // mediator over child mediators — the Mask-Mediator-Wrapper pattern.
